@@ -1,0 +1,42 @@
+package repro
+
+import "testing"
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// paper's Section 7 extensions, each compared against its baseline in
+// one run. Metrics carry the baseline-vs-variant values.
+
+// BenchmarkAblationEarlyProbe measures the early-probe extension:
+// probing lagging receivers before the release deadline removes the
+// probe round trip from each stop-and-wait window cycle at small
+// buffers.
+func BenchmarkAblationEarlyProbe(b *testing.B) {
+	benchFigure(b, "ext-earlyprobe", "Mbps")
+}
+
+// BenchmarkAblationMulticastProbe measures the multicast-probe
+// extension: one multicast PROBE replaces a unicast burst when many
+// receivers lag at once.
+func BenchmarkAblationMulticastProbe(b *testing.B) {
+	benchFigure(b, "ext-mcastprobe", "val")
+}
+
+// BenchmarkScalingStudy measures throughput and feedback volume as the
+// receiver population grows past the paper's 100 (Section 5.2
+// discussion).
+func BenchmarkScalingStudy(b *testing.B) {
+	benchFigure(b, "ext-scaling", "val")
+}
+
+// BenchmarkAblationLocalRecovery measures the local-recovery extension:
+// multicast NAKs with suppression plus peer-served repairs offload the
+// sender's retransmitter.
+func BenchmarkAblationLocalRecovery(b *testing.B) {
+	benchFigure(b, "ext-localrec", "val")
+}
+
+// BenchmarkAblationFec measures the forward-error-correction extension:
+// XOR parity converts most NAK round trips into silent local rebuilds.
+func BenchmarkAblationFec(b *testing.B) {
+	benchFigure(b, "ext-fec", "val")
+}

@@ -1,0 +1,89 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation via the experiments harness — one testing.B
+// benchmark per figure. Each iteration reproduces the figure's full
+// sweep in quick mode (shrunken file sizes); run cmd/hrmc-bench for the
+// paper-scale version. Key series values are attached as custom metrics
+// so `go test -bench` output records the reproduced numbers.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func quickOpts() experiments.Options {
+	return experiments.Options{Seeds: 1, Quick: true}
+}
+
+// reportTables attaches the last-buffer value of each series of each
+// panel as a benchmark metric, e.g. "fig10a/3receivers_Mbps".
+func reportTables(b *testing.B, tables []*experiments.Table, unit string) {
+	b.Helper()
+	for _, tb := range tables {
+		for _, s := range tb.Series {
+			if len(s.Y) == 0 {
+				continue
+			}
+			b.ReportMetric(s.Y[len(s.Y)-1], tb.ID+"/"+sanitizeMetric(s.Label)+"_"+unit)
+		}
+		for _, note := range tb.Notes {
+			b.Logf("%s: %s", tb.ID, note)
+		}
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func benchFigure(b *testing.B, name, unit string) {
+	r, ok := experiments.Find(name)
+	if !ok {
+		b.Fatalf("experiment %s not registered", name)
+	}
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = r.Run(quickOpts())
+	}
+	reportTables(b, tables, unit)
+}
+
+// BenchmarkFig3 regenerates Figure 3: percentage of buffer releases with
+// complete receiver information, RMC (a) vs H-RMC with updates (b).
+func BenchmarkFig3(b *testing.B) { benchFigure(b, "fig3", "pct") }
+
+// BenchmarkFig10 regenerates Figure 10: throughput on the 10 Mbps
+// testbed (memory and disk, 10 and 40 MB, 1–3 receivers).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10", "Mbps") }
+
+// BenchmarkFig11 regenerates Figure 11: feedback activity (rate
+// requests and NAKs) in the 10 Mbps disk tests.
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11", "count") }
+
+// BenchmarkFig12 regenerates Figure 12: memory-to-memory throughput on
+// the 100 Mbps network.
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12", "Mbps") }
+
+// BenchmarkFig13 regenerates Figure 13: NAKs from NIC burst drops at
+// large kernel buffers on the 100 Mbps network.
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13", "naks") }
+
+// BenchmarkFig14 emits the characteristic-group and test-case
+// definitions of Figure 14 (no simulation; included for completeness).
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14", "def") }
+
+// BenchmarkFig15 regenerates Figure 15: the simulated 10 Mbps study over
+// Tests 1–5 and the many-receiver scaling panel.
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15", "val") }
+
+// BenchmarkFig16 regenerates Figure 16: the simulated 100 Mbps study and
+// the many-receiver headline number.
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16", "val") }

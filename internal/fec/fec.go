@@ -1,0 +1,163 @@
+// Package fec implements the forward-error-correction extension the
+// paper lists as future work (Section 7, item 4: "incorporation of
+// forward error correction, particularly for wireless environments").
+//
+// The scheme is single-erasure XOR parity: for every group of K
+// consecutive data packets the sender multicasts one best-effort parity
+// packet whose payload is the XOR of the group's length-prefixed
+// payloads. A receiver missing exactly one packet of the group rebuilds
+// it locally — no NAK, no retransmission round trip. Parity packets are
+// never retransmitted and never occupy window space; losing one merely
+// falls back to the NAK path.
+//
+// Wire form: a PROBE-sized extension type (packet.TypeFec). Seq is the
+// first sequence number of the covered group; Length is the group size
+// K; the payload is the XOR of [len16be ‖ payload ‖ zero padding] over
+// the group, sized to fit the largest member plus the prefix.
+package fec
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+)
+
+// MaxGroup bounds the group size (fits comfortably in a receive
+// window's worth of state).
+const MaxGroup = 64
+
+// lenPrefix is the XOR-protected length prefix in bytes.
+const lenPrefix = 2
+
+// Encoder accumulates transmitted packets and produces parity packets.
+type Encoder struct {
+	k     int
+	base  seqspace.Seq
+	count int
+	acc   []byte // XOR accumulator, length = lenPrefix + longest payload
+}
+
+// NewEncoder returns an encoder emitting one parity packet per k data
+// packets; k is clamped to [2, MaxGroup].
+func NewEncoder(k int) *Encoder {
+	if k < 2 {
+		k = 2
+	}
+	if k > MaxGroup {
+		k = MaxGroup
+	}
+	return &Encoder{k: k}
+}
+
+// GroupSize returns K.
+func (e *Encoder) GroupSize() int { return e.k }
+
+// xorInto accumulates [len16 ‖ payload] into acc, growing it as needed.
+func xorInto(acc []byte, payload []byte) []byte {
+	need := lenPrefix + len(payload)
+	for len(acc) < need {
+		acc = append(acc, 0)
+	}
+	var l [lenPrefix]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(payload)))
+	acc[0] ^= l[0]
+	acc[1] ^= l[1]
+	for i, b := range payload {
+		acc[lenPrefix+i] ^= b
+	}
+	return acc
+}
+
+// Add feeds one first-transmission data packet (in sequence order) and
+// returns a parity packet when the group completes, else nil.
+// Retransmissions must not be fed: the group covers each sequence
+// number once.
+func (e *Encoder) Add(seq seqspace.Seq, payload []byte) *packet.Packet {
+	if e.count == 0 {
+		e.base = seq
+		e.acc = e.acc[:0]
+	}
+	e.acc = xorInto(e.acc, payload)
+	e.count++
+	if e.count < e.k {
+		return nil
+	}
+	parity := make([]byte, len(e.acc))
+	copy(parity, e.acc)
+	p := &packet.Packet{
+		Header: packet.Header{
+			Type:   packet.TypeFec,
+			Seq:    uint32(e.base),
+			Length: uint32(e.k),
+		},
+		Payload: parity,
+	}
+	e.count = 0
+	return p
+}
+
+// PayloadLookup resolves a stored data payload by sequence number; ok
+// is false when the payload is unavailable.
+type PayloadLookup func(seq seqspace.Seq) (payload []byte, ok bool)
+
+// Recover attempts single-erasure reconstruction from a parity packet.
+// lookup must resolve every present member of the covered group. It
+// returns the rebuilt data packet and true when exactly one member is
+// missing and reconstruction succeeds.
+func Recover(parity *packet.Packet, lookup PayloadLookup) (*packet.Packet, bool) {
+	if parity.Type != packet.TypeFec {
+		return nil, false
+	}
+	k := int(parity.Length)
+	if k < 2 || k > MaxGroup || len(parity.Payload) < lenPrefix {
+		return nil, false
+	}
+	base := seqspace.Seq(parity.Seq)
+	acc := make([]byte, len(parity.Payload))
+	copy(acc, parity.Payload)
+	missing := seqspace.Seq(0)
+	nMissing := 0
+	for i := 0; i < k; i++ {
+		seq := base + seqspace.Seq(i)
+		payload, ok := lookup(seq)
+		if !ok {
+			missing = seq
+			nMissing++
+			if nMissing > 1 {
+				return nil, false
+			}
+			continue
+		}
+		if lenPrefix+len(payload) > len(acc) {
+			// A member is larger than the parity coverage: corrupt or
+			// mismatched group; bail out.
+			return nil, false
+		}
+		acc = xorInto(acc, payload)
+	}
+	if nMissing != 1 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint16(acc[:lenPrefix]))
+	if lenPrefix+n > len(acc) {
+		return nil, false
+	}
+	rebuilt := make([]byte, n)
+	copy(rebuilt, acc[lenPrefix:lenPrefix+n])
+	// Everything beyond the rebuilt payload must have XORed to zero;
+	// nonzero residue means the group was inconsistent.
+	for _, b := range acc[lenPrefix+n:] {
+		if b != 0 {
+			return nil, false
+		}
+	}
+	return &packet.Packet{
+		Header: packet.Header{
+			Type:   packet.TypeData,
+			Seq:    uint32(missing),
+			Length: uint32(n),
+		},
+		Payload: rebuilt,
+	}, true
+}

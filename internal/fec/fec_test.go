@@ -1,0 +1,200 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+)
+
+// mkGroup builds k payloads of varying sizes and the parity packet an
+// encoder emits for them.
+func mkGroup(t *testing.T, k int, base seqspace.Seq, sizes []int) ([][]byte, *packet.Packet) {
+	t.Helper()
+	enc := NewEncoder(k)
+	payloads := make([][]byte, k)
+	var parity *packet.Packet
+	for i := 0; i < k; i++ {
+		n := 100
+		if i < len(sizes) {
+			n = sizes[i]
+		}
+		pl := make([]byte, n)
+		for j := range pl {
+			pl[j] = byte(i*31 + j)
+		}
+		payloads[i] = pl
+		parity = enc.Add(base+seqspace.Seq(i), pl)
+		if i < k-1 && parity != nil {
+			t.Fatal("parity emitted before the group completed")
+		}
+	}
+	if parity == nil {
+		t.Fatal("no parity after a full group")
+	}
+	return payloads, parity
+}
+
+func lookupFrom(payloads [][]byte, base seqspace.Seq, missing int) PayloadLookup {
+	return func(seq seqspace.Seq) ([]byte, bool) {
+		i := int(seqspace.Diff(seq, base))
+		if i < 0 || i >= len(payloads) || i == missing {
+			return nil, false
+		}
+		return payloads[i], true
+	}
+}
+
+func TestEncoderGroupBoundaries(t *testing.T) {
+	enc := NewEncoder(3)
+	if enc.GroupSize() != 3 {
+		t.Fatalf("group size %d", enc.GroupSize())
+	}
+	if NewEncoder(0).GroupSize() < 2 {
+		t.Error("group size not clamped up")
+	}
+	if NewEncoder(1000).GroupSize() != MaxGroup {
+		t.Error("group size not clamped down")
+	}
+	p := enc.Add(10, []byte("aa"))
+	if p != nil {
+		t.Fatal("parity after 1 of 3")
+	}
+	enc.Add(11, []byte("bb"))
+	p = enc.Add(12, []byte("cc"))
+	if p == nil || p.Seq != 10 || p.Length != 3 || p.Type != packet.TypeFec {
+		t.Fatalf("parity header wrong: %+v", p)
+	}
+	// Next group starts fresh.
+	if enc.Add(13, []byte("dd")) != nil {
+		t.Error("parity leaked into the next group")
+	}
+}
+
+func TestRecoverEachPosition(t *testing.T) {
+	const k = 5
+	sizes := []int{100, 1, 57, 100, 33} // mixed sizes, incl. shorter-than-max
+	payloads, parity := mkGroup(t, k, 1000, sizes)
+	for missing := 0; missing < k; missing++ {
+		got, ok := Recover(parity, lookupFrom(payloads, 1000, missing))
+		if !ok {
+			t.Fatalf("recovery failed for position %d", missing)
+		}
+		if got.Seq != uint32(1000+missing) {
+			t.Errorf("rebuilt seq %d, want %d", got.Seq, 1000+missing)
+		}
+		if !bytes.Equal(got.Payload, payloads[missing]) {
+			t.Errorf("position %d: rebuilt payload differs", missing)
+		}
+		if got.Type != packet.TypeData || got.Length != uint32(len(payloads[missing])) {
+			t.Errorf("rebuilt header wrong: %+v", got.Header)
+		}
+	}
+}
+
+func TestRecoverRefusesZeroOrTwoMissing(t *testing.T) {
+	payloads, parity := mkGroup(t, 4, 0, nil)
+	if _, ok := Recover(parity, lookupFrom(payloads, 0, -1)); ok {
+		t.Error("recovered with nothing missing")
+	}
+	two := func(seq seqspace.Seq) ([]byte, bool) {
+		i := int(seq)
+		if i == 1 || i == 2 {
+			return nil, false
+		}
+		return payloads[i], true
+	}
+	if _, ok := Recover(parity, two); ok {
+		t.Error("recovered with two missing")
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	if _, ok := Recover(&packet.Packet{Header: packet.Header{Type: packet.TypeData}}, nil); ok {
+		t.Error("recovered from a non-FEC packet")
+	}
+	bad := &packet.Packet{Header: packet.Header{Type: packet.TypeFec, Length: 1}}
+	if _, ok := Recover(bad, nil); ok {
+		t.Error("recovered from k=1")
+	}
+	bad = &packet.Packet{Header: packet.Header{Type: packet.TypeFec, Length: 200}, Payload: []byte{0, 0}}
+	if _, ok := Recover(bad, nil); ok {
+		t.Error("recovered from oversized k")
+	}
+	// Inconsistent group: member larger than parity coverage.
+	payloads, parity := mkGroup(t, 3, 0, []int{10, 10, 10})
+	big := func(seq seqspace.Seq) ([]byte, bool) {
+		if seq == 0 {
+			return make([]byte, 500), true
+		}
+		return lookupFrom(payloads, 0, 1)(seq)
+	}
+	if _, ok := Recover(parity, big); ok {
+		t.Error("recovered despite an oversized member")
+	}
+}
+
+// Property: for any group contents and any single missing position,
+// recovery rebuilds the exact payload.
+func TestPropRecoverRoundTrip(t *testing.T) {
+	f := func(seed uint8, kRaw uint8, missRaw uint8, lens []uint8) bool {
+		k := int(kRaw%7) + 2
+		enc := NewEncoder(k)
+		payloads := make([][]byte, k)
+		var parity *packet.Packet
+		for i := 0; i < k; i++ {
+			n := 1
+			if i < len(lens) {
+				n = int(lens[i])%200 + 1
+			}
+			pl := make([]byte, n)
+			for j := range pl {
+				pl[j] = byte(int(seed) + i*37 + j*11)
+			}
+			payloads[i] = pl
+			parity = enc.Add(seqspace.Seq(i), pl)
+		}
+		missing := int(missRaw) % k
+		got, ok := Recover(parity, lookupFrom(payloads, 0, missing))
+		return ok && bytes.Equal(got.Payload, payloads[missing]) && got.Seq == uint32(missing)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncoderAdd(b *testing.B) {
+	enc := NewEncoder(8)
+	payload := make([]byte, 1400)
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Add(seqspace.Seq(i), payload)
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	enc := NewEncoder(8)
+	payloads := make([][]byte, 8)
+	var parity *packet.Packet
+	for i := range payloads {
+		payloads[i] = make([]byte, 1400)
+		parity = enc.Add(seqspace.Seq(i), payloads[i])
+	}
+	lookup := func(seq seqspace.Seq) ([]byte, bool) {
+		if seq == 3 {
+			return nil, false
+		}
+		return payloads[int(seq)], true
+	}
+	b.SetBytes(8 * 1400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Recover(parity, lookup); !ok {
+			b.Fatal("recovery failed")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package kernel emulates the small slice of the Linux kernel environment
+// the H-RMC driver lives in: the 10 ms jiffy clock, timer_list-style
+// one-shot timers, and sk_buff_head-style packet queues with socket-buffer
+// byte accounting (sndbuf/rcvbuf).
+//
+// The protocol machines in internal/sender and internal/receiver observe
+// time only through these abstractions, so the same code runs unchanged
+// under the discrete-event simulator and the live UDP transport — the Go
+// analogue of the paper importing its kernel code into the CSIM simulator.
+package kernel
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Jiffy is the Linux 2.1 timer tick on the paper's machines: 10 ms.
+const Jiffy = 10 * sim.Millisecond
+
+// Jiffies converts a jiffy count to a duration.
+func Jiffies(n int64) sim.Time { return sim.Time(n) * Jiffy }
+
+// ToJiffies converts a duration to whole jiffies, rounding down.
+func ToJiffies(d sim.Time) int64 { return int64(d / Jiffy) }
+
+// Timer is a one-shot deadline, the analogue of a struct timer_list. The
+// zero value is a disarmed timer. Timers do not fire by themselves: the
+// owner polls Due (or Deadline) from whatever drives time forward.
+type Timer struct {
+	deadline sim.Time
+	armed    bool
+}
+
+// Arm sets the timer to fire at the given absolute time, replacing any
+// previous deadline (Linux mod_timer).
+func (t *Timer) Arm(at sim.Time) {
+	t.deadline = at
+	t.armed = true
+}
+
+// ArmIn arms the timer d after now.
+func (t *Timer) ArmIn(now, d sim.Time) { t.Arm(now + d) }
+
+// Disarm stops the timer (Linux del_timer).
+func (t *Timer) Disarm() { t.armed = false }
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the pending deadline, if armed.
+func (t *Timer) Deadline() (sim.Time, bool) { return t.deadline, t.armed }
+
+// Due reports whether the timer is armed with a deadline at or before now.
+func (t *Timer) Due(now sim.Time) bool { return t.armed && t.deadline <= now }
+
+// Fire disarms the timer and reports whether it was due. The owner calls
+// this at the top of its handler so a re-arm inside the handler sticks.
+func (t *Timer) Fire(now sim.Time) bool {
+	if !t.Due(now) {
+		return false
+	}
+	t.armed = false
+	return true
+}
+
+// Earliest returns the soonest deadline among the given timers.
+func Earliest(timers ...*Timer) (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, t := range timers {
+		if d, ok := t.Deadline(); ok && (!found || d < best) {
+			best, found = d, true
+		}
+	}
+	return best, found
+}
+
+// Queue is a FIFO of packets with byte accounting, the analogue of a
+// struct sk_buff_head plus the sock rmem/wmem counters. Bytes counts wire
+// size (header + payload) like the kernel's truesize accounting.
+type Queue struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes int
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes returns the total wire bytes queued.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Push appends a packet to the tail.
+func (q *Queue) Push(p *packet.Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.WireSize()
+}
+
+// Pop removes and returns the head packet, or nil when empty.
+func (q *Queue) Pop() *packet.Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.WireSize()
+	// Reclaim space once the dead prefix dominates.
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil when empty.
+func (q *Queue) Peek() *packet.Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+// Drain removes all packets and returns them in order.
+func (q *Queue) Drain() []*packet.Packet {
+	out := make([]*packet.Packet, 0, q.Len())
+	for p := q.Pop(); p != nil; p = q.Pop() {
+		out = append(out, p)
+	}
+	return out
+}

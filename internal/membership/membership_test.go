@@ -1,0 +1,282 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+	"repro/internal/sim"
+)
+
+func TestAddLookupRemove(t *testing.T) {
+	var tb Table
+	if tb.Len() != 0 {
+		t.Fatal("zero table not empty")
+	}
+	m, added := tb.Add(5, 100)
+	if !added || m == nil || m.Addr != 5 {
+		t.Fatalf("Add = %v,%v", m, added)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if tb.Lookup(5) != m {
+		t.Error("Lookup missed the member")
+	}
+	if tb.Lookup(6) != nil {
+		t.Error("Lookup found a ghost")
+	}
+	// Duplicate join is idempotent and refreshes LastHeard.
+	m2, added := tb.Add(5, 200)
+	if added || m2 != m {
+		t.Error("duplicate Add created a new member")
+	}
+	if m.LastHeard != 200 {
+		t.Error("duplicate Add did not refresh LastHeard")
+	}
+	if !tb.Remove(5) {
+		t.Error("Remove returned false")
+	}
+	if tb.Remove(5) {
+		t.Error("second Remove returned true")
+	}
+	if tb.Len() != 0 || tb.Lookup(5) != nil {
+		t.Error("Remove left state behind")
+	}
+}
+
+func TestHashCollisions(t *testing.T) {
+	var tb Table
+	// Addresses 1, 1+64, 1+128 share a bucket.
+	addrs := []packet.NodeID{1, 1 + HashTableSize, 1 + 2*HashTableSize}
+	for _, a := range addrs {
+		tb.Add(a, 0)
+	}
+	for _, a := range addrs {
+		if got := tb.Lookup(a); got == nil || got.Addr != a {
+			t.Errorf("Lookup(%d) = %v", a, got)
+		}
+	}
+	// Remove the middle of the chain.
+	tb.Remove(addrs[1])
+	if tb.Lookup(addrs[1]) != nil {
+		t.Error("removed member still found")
+	}
+	if tb.Lookup(addrs[0]) == nil || tb.Lookup(addrs[2]) == nil {
+		t.Error("removal broke the chain")
+	}
+}
+
+func TestEachJoinOrder(t *testing.T) {
+	var tb Table
+	for i := packet.NodeID(10); i < 15; i++ {
+		tb.Add(i, 0)
+	}
+	tb.Remove(12)
+	var got []packet.NodeID
+	tb.Each(func(m *Member) bool {
+		got = append(got, m.Addr)
+		return true
+	})
+	want := []packet.NodeID{10, 11, 13, 14}
+	if len(got) != len(want) {
+		t.Fatalf("Each order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tb.Each(func(*Member) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Each early stop visited %d", n)
+	}
+}
+
+func TestUpdateMonotone(t *testing.T) {
+	var tb Table
+	tb.Add(1, 0)
+	if tb.Update(99, 5, 0) {
+		t.Error("Update for unknown member returned true")
+	}
+	if !tb.Update(1, 10, 50) {
+		t.Fatal("Update returned false")
+	}
+	m := tb.Lookup(1)
+	if !m.KnownState || m.NextExpected != 10 || m.LastHeard != 50 {
+		t.Fatalf("after update: %+v", m)
+	}
+	// A stale (reordered) report must not regress state but still counts
+	// as hearing from the receiver.
+	tb.Update(1, 7, 60)
+	if m.NextExpected != 10 {
+		t.Error("stale update regressed NextExpected")
+	}
+	if m.LastHeard != 60 {
+		t.Error("stale update did not refresh LastHeard")
+	}
+	tb.Update(1, 12, 70)
+	if m.NextExpected != 12 {
+		t.Error("fresh update ignored")
+	}
+}
+
+func TestUpdateClearsProbe(t *testing.T) {
+	var tb Table
+	m, _ := tb.Add(1, 0)
+	m.ProbeOutstanding = true
+	m.ProbeSeq = 9
+	tb.Update(1, 9, 10) // next expected 9 means seq 9 NOT received yet
+	if !m.ProbeOutstanding {
+		t.Error("probe cleared by a response that does not cover the probe seq")
+	}
+	tb.Update(1, 10, 20) // now 9 is covered
+	if m.ProbeOutstanding {
+		t.Error("probe not cleared by a covering response")
+	}
+}
+
+func TestAllPastAndLacking(t *testing.T) {
+	var tb Table
+	if !tb.AllPast(100) {
+		t.Error("empty table must be trivially past any seq")
+	}
+	tb.Add(1, 0)
+	tb.Add(2, 0)
+	if tb.AllPast(0) {
+		t.Error("members with unknown state counted as past")
+	}
+	if got := tb.Lacking(0, nil); len(got) != 2 {
+		t.Fatalf("Lacking = %d members, want 2", len(got))
+	}
+	tb.Update(1, 6, 0)
+	tb.Update(2, 4, 0)
+	if !tb.AllPast(3) {
+		t.Error("AllPast(3) false with next-expected {6,4}")
+	}
+	if tb.AllPast(4) {
+		t.Error("AllPast(4) true but member 2 expects 4")
+	}
+	lack := tb.Lacking(4, nil)
+	if len(lack) != 1 || lack[0].Addr != 2 {
+		t.Errorf("Lacking(4) = %v", lack)
+	}
+}
+
+func TestMinNextExpected(t *testing.T) {
+	var tb Table
+	if _, ok := tb.MinNextExpected(); ok {
+		t.Error("empty table reported a minimum")
+	}
+	tb.Add(1, 0)
+	if _, ok := tb.MinNextExpected(); ok {
+		t.Error("unknown-state member reported a minimum")
+	}
+	tb.Update(1, 10, 0)
+	tb.Add(2, 0)
+	tb.Update(2, 7, 0)
+	min, ok := tb.MinNextExpected()
+	if !ok || min != 7 {
+		t.Errorf("MinNextExpected = %d,%v, want 7,true", min, ok)
+	}
+	// Wrap-aware minimum.
+	tb.Update(2, 0xFFFFFFF0, 0) // ignored: stale (before 7? no — after)
+	// 0xFFFFFFF0 is before 7 in wrap arithmetic, so it is stale and
+	// NextExpected stays 7.
+	min, _ = tb.MinNextExpected()
+	if min != 7 {
+		t.Errorf("stale wrap update changed minimum to %d", min)
+	}
+}
+
+// Property: the table agrees with a reference map implementation under a
+// random operation sequence, and the linked list stays consistent with
+// the hash table.
+func TestPropTableMatchesMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Addr uint8
+		Seq  uint32
+	}
+	f := func(ops []op) bool {
+		var tb Table
+		ref := map[packet.NodeID]seqspace.Seq{}
+		known := map[packet.NodeID]bool{}
+		now := sim.Time(0)
+		for _, o := range ops {
+			addr := packet.NodeID(o.Addr % 40)
+			now += sim.Millisecond
+			switch o.Kind % 3 {
+			case 0: // add
+				tb.Add(addr, now)
+				if _, ok := ref[addr]; !ok {
+					ref[addr] = 0
+					known[addr] = false
+				}
+			case 1: // remove
+				tb.Remove(addr)
+				delete(ref, addr)
+				delete(known, addr)
+			case 2: // update
+				s := seqspace.Seq(o.Seq % 1000)
+				tb.Update(addr, s, now)
+				if _, ok := ref[addr]; ok {
+					if !known[addr] || seqspace.After(s, ref[addr]) {
+						ref[addr] = s
+						known[addr] = true
+					}
+				}
+			}
+		}
+		if tb.Len() != len(ref) {
+			return false
+		}
+		// Every map entry is in the table with matching state.
+		for a, s := range ref {
+			m := tb.Lookup(a)
+			if m == nil || m.KnownState != known[a] {
+				return false
+			}
+			if known[a] && m.NextExpected != s {
+				return false
+			}
+		}
+		// The linked list visits exactly the map's members, once each.
+		seen := map[packet.NodeID]int{}
+		tb.Each(func(m *Member) bool { seen[m.Addr]++; return true })
+		if len(seen) != len(ref) {
+			return false
+		}
+		for a, n := range seen {
+			if n != 1 {
+				return false
+			}
+			if _, ok := ref[a]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllPast(seq) is exactly "Lacking(seq) is empty".
+func TestPropAllPastLackingAgree(t *testing.T) {
+	f := func(nexts []uint16, seq uint16) bool {
+		var tb Table
+		for i, n := range nexts {
+			a := packet.NodeID(i + 1)
+			tb.Add(a, 0)
+			tb.Update(a, seqspace.Seq(n), 0)
+		}
+		return tb.AllPast(seqspace.Seq(seq)) == (len(tb.Lacking(seqspace.Seq(seq), nil)) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

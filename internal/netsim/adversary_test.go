@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/packet"
+	"repro/internal/rate"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/sim"
+)
+
+// TestSequenceWraparound runs a full transfer across the 32-bit
+// sequence-number wrap: the stream starts a few hundred packets below
+// 2^32 and must reassemble bit-exact on the other side.
+func TestSequenceWraparound(t *testing.T) {
+	cfg := DefaultConfig(Rate10Mbps, 77)
+	net := New(cfg)
+	rcfg := rate.DefaultConfig()
+	rcfg.MaxRate = Rate10Mbps
+	const initialSeq = 0xFFFFFF80 // 128 packets below the wrap
+	s := sender.New(sender.Config{
+		SndBuf: 128 << 10, Rate: rcfg, ExpectedReceivers: 2,
+		InitialSeq: initialSeq,
+	})
+	net.AddSender(s, app.NewMemorySource(1<<20)) // ≈750 packets: crosses the wrap
+	for i := 0; i < 2; i++ {
+		r := receiver.New(receiver.Config{
+			RcvBuf: 128 << 10, InitialSeq: initialSeq,
+		})
+		net.AddReceiver(r, GroupB, app.MemorySink{})
+	}
+	res := net.Run(600 * sim.Second)
+	if !res.Completed {
+		t.Fatal("transfer across the sequence wrap did not complete")
+	}
+	for i, r := range net.Receivers() {
+		if r.Received != 1<<20 || r.BadBytes != 0 {
+			t.Errorf("receiver %d: %d bytes, %d bad across the wrap", i, r.Received, r.BadBytes)
+		}
+	}
+	if s.Stats().NakErrsSent != 0 {
+		t.Error("NAK_ERR across the wrap")
+	}
+}
+
+// adversaryLink couples one sender and one receiver machine directly
+// through a hostile link that drops, duplicates, reorders and delays
+// packets under a seeded RNG — conditions the netsim topology never
+// produces (it preserves order). The protocol must still deliver the
+// exact stream.
+type adversaryLink struct {
+	eng *sim.Engine
+	rng *sim.RNG
+
+	drop, dup, reorder float64
+	baseDelay          sim.Time
+	jitter             float64
+}
+
+func (l *adversaryLink) delay() sim.Time {
+	d := l.rng.Jitter(l.baseDelay, l.jitter)
+	if l.rng.Bool(l.reorder) {
+		// Occasionally hold a packet long enough to jump its successors.
+		d += l.rng.Exp(4 * l.baseDelay)
+	}
+	return d
+}
+
+func (l *adversaryLink) deliver(fn func()) {
+	if l.rng.Bool(l.drop) {
+		return
+	}
+	n := 1
+	if l.rng.Bool(l.dup) {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		l.eng.After(l.delay(), fn)
+	}
+}
+
+func runAdversarial(t *testing.T, seed uint64, size int, drop, dup, reorder float64) bool {
+	t.Helper()
+	eng := &sim.Engine{}
+	link := &adversaryLink{
+		eng: eng, rng: sim.NewRNG(seed),
+		drop: drop, dup: dup, reorder: reorder,
+		baseDelay: 5 * sim.Millisecond, jitter: 0.5,
+	}
+	rcfg := rate.DefaultConfig()
+	rcfg.MaxRate = Rate10Mbps
+	snd := sender.New(sender.Config{SndBuf: 32 << 10, Rate: rcfg, ExpectedReceivers: 1})
+	rcv := receiver.New(receiver.Config{RcvBuf: 32 << 10})
+
+	data := make([]byte, size)
+	app.FillPattern(data, 0)
+	written := 0
+	closed := false
+	var got []byte
+	finished := false
+
+	// Every emitted packet must round-trip the wire codec: the machines
+	// may only produce valid packets.
+	wireOK := true
+	roundTrip := func(p *packet.Packet) *packet.Packet {
+		buf, err := p.Encode(nil)
+		if err != nil {
+			t.Logf("emitted packet does not encode: %v (%v)", err, p)
+			wireOK = false
+			return p.Clone()
+		}
+		q, err := packet.Decode(buf)
+		if err != nil {
+			t.Logf("emitted packet does not decode: %v (%v)", err, p)
+			wireOK = false
+			return p.Clone()
+		}
+		return q
+	}
+	var flushSender func()
+	var flushReceiver func()
+	flushSender = func() {
+		for _, o := range snd.Outgoing() {
+			pkt := roundTrip(o.Pkt)
+			link.deliver(func() {
+				rcv.HandlePacket(eng.Now(), pkt)
+				flushReceiver()
+			})
+		}
+	}
+	flushReceiver = func() {
+		for _, p := range rcv.Outgoing() {
+			pkt := roundTrip(p)
+			link.deliver(func() {
+				snd.HandlePacket(eng.Now(), 1, pkt)
+				flushSender()
+			})
+		}
+	}
+
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		if written < len(data) {
+			written += snd.Write(now, data[written:])
+		} else if !closed {
+			closed = true
+			snd.Close(now)
+		}
+		snd.Tick(now)
+		flushSender()
+		rcv.Advance(now)
+		// Application read.
+		buf := make([]byte, 8<<10)
+		for {
+			n, err := rcv.Read(now, buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				finished = true
+				break
+			}
+			if n == 0 {
+				break
+			}
+		}
+		flushReceiver()
+		if !(finished && snd.Done()) {
+			eng.After(10*sim.Millisecond, tick)
+		}
+	}
+	eng.After(10*sim.Millisecond, tick)
+	eng.RunUntil(1200 * sim.Second)
+
+	if !finished {
+		t.Logf("seed %d: stream not finished (%d of %d bytes)", seed, len(got), size)
+		return false
+	}
+	if len(got) != size {
+		t.Logf("seed %d: got %d bytes, want %d", seed, len(got), size)
+		return false
+	}
+	if i := app.VerifyPattern(got, 0); i >= 0 {
+		t.Logf("seed %d: corruption at offset %d", seed, i)
+		return false
+	}
+	if snd.Stats().NakErrsSent != 0 {
+		t.Logf("seed %d: NAK_ERR under adversarial link", seed)
+		return false
+	}
+	return wireOK
+}
+
+func TestAdversarialLinkDropDupReorder(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		if !runAdversarial(t, seed, 64<<10, 0.05, 0.05, 0.05) {
+			t.Errorf("adversarial run failed for seed %d", seed)
+		}
+	}
+}
+
+func TestAdversarialHeavyLoss(t *testing.T) {
+	if !runAdversarial(t, 9, 32<<10, 0.25, 0.10, 0.10) {
+		t.Error("transfer failed under 25% loss with duplication and reordering")
+	}
+}
+
+// Property: for arbitrary (bounded) adversary parameters, delivery is
+// exact.
+func TestPropAdversarialReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property adversary sweep is slow")
+	}
+	f := func(seed uint64, dropRaw, dupRaw, reorderRaw uint8) bool {
+		drop := float64(dropRaw%30) / 100 // ≤29%
+		dup := float64(dupRaw%20) / 100   // ≤19%
+		reo := float64(reorderRaw%20) / 100
+		return runAdversarial(t, seed, 16<<10, drop, dup, reo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocalRecoveryReliability runs the local-recovery extension under
+// WAN loss: delivery stays bit-exact, repairs are actually served by
+// peers, and the H-RMC release invariant holds.
+func TestLocalRecoveryReliability(t *testing.T) {
+	cfg := DefaultConfig(Rate10Mbps, 55)
+	net := New(cfg)
+	rcfg := rate.DefaultConfig()
+	rcfg.MaxRate = Rate10Mbps
+	s := sender.New(sender.Config{
+		SndBuf: 128 << 10, Rate: rcfg, ExpectedReceivers: 6,
+		InitialRTT: 210 * sim.Millisecond, LocalRecovery: true,
+	})
+	net.AddSender(s, app.NewMemorySource(1<<20))
+	for i := 0; i < 6; i++ {
+		r := receiver.New(receiver.Config{
+			RcvBuf: 128 << 10, AssumedRTT: 200 * sim.Millisecond,
+			LocalRecovery: true,
+		})
+		net.AddReceiver(r, GroupC, app.MemorySink{})
+	}
+	res := net.Run(2000 * sim.Second)
+	if !res.Completed {
+		t.Fatal("local-recovery transfer did not complete")
+	}
+	var repairs, peerNaks int64
+	for i, r := range net.Receivers() {
+		if r.Received != 1<<20 || r.BadBytes != 0 {
+			t.Errorf("receiver %d: %d bytes, %d bad", i, r.Received, r.BadBytes)
+		}
+		repairs += r.M.Stats().RepairsSent
+		peerNaks += r.M.Stats().PeerNaksHeard
+	}
+	if repairs == 0 {
+		t.Error("no peer repairs under 2% loss; extension inert")
+	}
+	if peerNaks == 0 {
+		t.Error("no multicast NAKs heard by peers")
+	}
+	if s.Stats().NakErrsSent != 0 {
+		t.Error("release invariant violated under local recovery")
+	}
+	if s.Stats().RepairsHeard == 0 {
+		t.Error("sender never heard a repair")
+	}
+}

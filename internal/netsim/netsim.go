@@ -1,0 +1,550 @@
+// Package netsim is the discrete-event network model of the paper's
+// simulation study (Section 5.2): host processes with the measured
+// H-RMC processing costs, network-interface processes with finite egress
+// queues and uncorrelated loss, and router processes with link-rate
+// serialization, characteristic-group delays, multicast duplication and
+// correlated loss.
+//
+// Loss is split 90% correlated (at the group router, shared by all
+// receivers of the group) and 10% uncorrelated (at each receiver's
+// network interface), following the paper's reading of Yajnik et al.
+// that most loss happens on tail links.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/packet"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/sim"
+)
+
+// Group is a characteristic receiver group (Figure 14(a)).
+type Group struct {
+	Name string
+	// Delay is the one-way network delay between the sender's site and
+	// the group.
+	Delay sim.Time
+	// Loss is the total packet loss probability for receivers in the
+	// group (0.02 = 2%).
+	Loss float64
+}
+
+// The paper's characteristic groups (Figure 14(a)).
+var (
+	GroupA = Group{Name: "A", Delay: 2 * sim.Millisecond, Loss: 0.00005}
+	GroupB = Group{Name: "B", Delay: 20 * sim.Millisecond, Loss: 0.005}
+	GroupC = Group{Name: "C", Delay: 100 * sim.Millisecond, Loss: 0.02}
+)
+
+// CorrelatedShare is the fraction of loss applied at the group router.
+const CorrelatedShare = 0.9
+
+// Config parametrizes the network and host model.
+type Config struct {
+	// Seed drives every random stream in the simulation.
+	Seed uint64
+	// LineRate is the link bandwidth in bytes/second (10 Mbps ⇒ 1.25e6).
+	LineRate float64
+	// NICQueueBytes bounds each host's egress queue; a burst larger than
+	// the queue overflows and the excess packets are dropped, which is
+	// the paper's explanation for the NAKs of Figure 13. Zero means
+	// unbounded.
+	NICQueueBytes int
+	// PerPacketCPU and PerByteCPU express the measured H-RMC processing
+	// cost (10 + 0.025·l) µs; they serialize on the host CPU.
+	PerPacketCPU sim.Time
+	PerByteCPU   float64 // nanoseconds per payload byte
+	// LowerLayerDelay is the measured lower-layer cost (150 µs),
+	// modeled as pipeline latency.
+	LowerLayerDelay sim.Time
+}
+
+// DefaultConfig returns the paper's host model on a network of the given
+// line rate in bytes/second.
+func DefaultConfig(lineRate float64, seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		LineRate:        lineRate,
+		NICQueueBytes:   256 << 10,
+		PerPacketCPU:    10 * sim.Microsecond,
+		PerByteCPU:      25, // 0.025 µs per byte
+		LowerLayerDelay: 150 * sim.Microsecond,
+	}
+}
+
+// Rates for convenience.
+const (
+	Rate10Mbps  = 10e6 / 8
+	Rate100Mbps = 100e6 / 8
+)
+
+// Network owns the simulation: one sender host and any number of
+// receiver hosts organized in characteristic groups.
+type Network struct {
+	Engine *sim.Engine
+	cfg    Config
+	rng    *sim.RNG
+
+	snd  *SenderHost
+	rcvs []*ReceiverHost
+
+	// Per-group router serialization and loss streams.
+	groups map[string]*groupRouter
+
+	// Drop counters.
+	NICDrops    int64
+	RouterDrops int64
+}
+
+type groupRouter struct {
+	g    Group
+	loss *sim.RNG
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.LineRate <= 0 {
+		cfg.LineRate = Rate10Mbps
+	}
+	return &Network{
+		Engine: &sim.Engine{},
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed),
+		groups: make(map[string]*groupRouter),
+	}
+}
+
+func (n *Network) group(g Group) *groupRouter {
+	gr, ok := n.groups[g.Name]
+	if !ok {
+		gr = &groupRouter{g: g, loss: n.rng.Stream(uint64(len(n.groups)) + 101)}
+		n.groups[g.Name] = gr
+	}
+	return gr
+}
+
+// cpuCost returns the host protocol-processing cost for a packet of the
+// given payload length: (10 + 0.025·l) µs with the default config.
+func (n *Network) cpuCost(payloadLen int) sim.Time {
+	return n.cfg.PerPacketCPU + sim.Time(n.cfg.PerByteCPU*float64(payloadLen))
+}
+
+// host is the shared CPU/NIC state of a simulated machine.
+type host struct {
+	net     *Network
+	id      packet.NodeID
+	cpuFree sim.Time
+	nicFree sim.Time
+}
+
+// cpu reserves CPU time for one packet and returns when processing
+// completes.
+func (h *host) cpu(now sim.Time, payloadLen int) sim.Time {
+	start := now
+	if h.cpuFree > start {
+		start = h.cpuFree
+	}
+	done := start + h.net.cpuCost(payloadLen)
+	h.cpuFree = done
+	return done
+}
+
+// nic pushes one packet through the host's egress interface: it drains
+// at line rate and drops when the queued backlog exceeds the queue
+// bound. It returns the wire-exit time and whether the packet was
+// dropped.
+func (h *host) nic(now sim.Time, wireBytes int) (sim.Time, bool) {
+	if h.nicFree < now {
+		h.nicFree = now
+	}
+	if h.net.cfg.NICQueueBytes > 0 {
+		backlog := float64(h.nicFree-now) / float64(sim.Second) * h.net.cfg.LineRate
+		if int(backlog)+wireBytes > h.net.cfg.NICQueueBytes {
+			h.net.NICDrops++
+			return 0, true
+		}
+	}
+	service := sim.Time(float64(wireBytes) / h.net.cfg.LineRate * float64(sim.Second))
+	h.nicFree += service
+	return h.nicFree, false
+}
+
+// SenderHost couples a sender machine with its application source.
+type SenderHost struct {
+	host
+	M      *sender.Sender
+	Source app.Source
+	closed bool
+	// pending holds produced bytes the send window refused; they are
+	// written before any new bytes so the stream stays exact.
+	pending []byte
+}
+
+// ReceiverHost couples a receiver machine with its group and sink.
+type ReceiverHost struct {
+	host
+	M     *receiver.Receiver
+	Sink  app.Sink
+	Group Group
+	rxRng *sim.RNG
+
+	Received   int64 // bytes delivered to the application
+	FinishedAt sim.Time
+	Finished   bool
+	BadBytes   int64 // pattern-verification failures (must stay zero)
+	verifyOff  int64
+	readBuf    []byte
+}
+
+// AddSender installs the sender host; only one is supported (the paper's
+// protocol is single-source).
+func (n *Network) AddSender(m *sender.Sender, src app.Source) *SenderHost {
+	if n.snd != nil {
+		panic("netsim: second sender")
+	}
+	s := &SenderHost{host: host{net: n, id: 0}, M: m, Source: src}
+	n.snd = s
+	return s
+}
+
+// AddReceiver installs a receiver host in the given characteristic
+// group.
+func (n *Network) AddReceiver(m *receiver.Receiver, g Group, sink app.Sink) *ReceiverHost {
+	id := packet.NodeID(len(n.rcvs) + 1)
+	r := &ReceiverHost{
+		host:    host{net: n, id: id},
+		M:       m,
+		Sink:    sink,
+		Group:   g,
+		rxRng:   n.rng.Stream(uint64(id) + 1000),
+		readBuf: make([]byte, 64<<10),
+	}
+	n.group(g)
+	n.rcvs = append(n.rcvs, r)
+	return r
+}
+
+// Receivers returns the installed receiver hosts.
+func (n *Network) Receivers() []*ReceiverHost { return n.rcvs }
+
+// Sender returns the installed sender host.
+func (n *Network) Sender() *SenderHost { return n.snd }
+
+// Start arms the per-jiffy ticks. Call after all hosts are added.
+func (n *Network) Start() {
+	if n.snd == nil {
+		panic("netsim: no sender")
+	}
+	n.scheduleSenderTick(jiffy)
+	for _, r := range n.rcvs {
+		n.scheduleReceiverTick(r, jiffy)
+	}
+}
+
+const jiffy = 10 * sim.Millisecond
+
+func (n *Network) scheduleSenderTick(at sim.Time) {
+	n.Engine.At(at, func() {
+		now := n.Engine.Now()
+		s := n.snd
+		s.feedWindow(now)
+		if !s.closed && s.Source.Remaining() == 0 && len(s.pending) == 0 {
+			s.closed = true
+			s.M.Close(now)
+		}
+		s.M.Tick(now)
+		n.flushSender(now)
+		if !n.done() {
+			n.scheduleSenderTick(now + jiffy)
+		}
+	})
+}
+
+// feedWindow is the Application Interface: it writes previously refused
+// bytes first, then produces fresh data until the window fills or the
+// source runs dry.
+func (s *SenderHost) feedWindow(now sim.Time) {
+	if s.closed {
+		return
+	}
+	for len(s.pending) > 0 {
+		w := s.M.Write(now, s.pending)
+		s.pending = s.pending[w:]
+		if w == 0 {
+			return // window full
+		}
+	}
+	for {
+		avail := s.Source.Available(now)
+		if avail == 0 {
+			return
+		}
+		buf := make([]byte, minInt(avail, 64<<10))
+		m := s.Source.Produce(now, buf)
+		if m == 0 {
+			return
+		}
+		buf = buf[:m]
+		w := s.M.Write(now, buf)
+		if w < m {
+			s.pending = buf[w:]
+			return
+		}
+	}
+}
+
+func (n *Network) scheduleReceiverTick(r *ReceiverHost, at sim.Time) {
+	n.Engine.At(at, func() {
+		now := n.Engine.Now()
+		r.M.Advance(now)
+		n.drainReads(r, now)
+		n.flushReceiver(r, now)
+		if !r.M.Done() && !n.done() {
+			n.scheduleReceiverTick(r, now+jiffy)
+		}
+	})
+}
+
+// drainReads performs application reads within the sink's budget.
+func (n *Network) drainReads(r *ReceiverHost, now sim.Time) {
+	for {
+		budget := r.Sink.Budget(now)
+		if budget <= 0 {
+			return
+		}
+		buf := r.readBuf
+		if budget < len(buf) {
+			buf = buf[:budget]
+		}
+		m, err := r.M.Read(now, buf)
+		if m > 0 {
+			if i := app.VerifyPattern(buf[:m], r.verifyOff); i >= 0 {
+				r.BadBytes++
+			}
+			r.verifyOff += int64(m)
+			r.Received += int64(m)
+			r.Sink.Consume(now, m)
+		}
+		if r.M.FinDelivered() && !r.Finished {
+			r.Finished = true
+			r.FinishedAt = now
+		}
+		if err != nil || m == 0 {
+			return
+		}
+	}
+}
+
+// flushSender routes the sender machine's outgoing packets through the
+// CPU and NIC models into the network.
+func (n *Network) flushSender(now sim.Time) {
+	for _, o := range n.snd.M.Outgoing() {
+		cpuDone := n.snd.cpu(now, len(o.Pkt.Payload))
+		exit, dropped := n.snd.nic(cpuDone, o.Pkt.WireSize())
+		if dropped {
+			continue
+		}
+		n.deliverFromSender(exit, o)
+	}
+}
+
+// deliverFromSender fans a sender packet out to its destinations with
+// group delay and loss applied.
+func (n *Network) deliverFromSender(exit sim.Time, o sender.Out) {
+	if o.Dest.Multicast {
+		// One correlated-loss draw per group; uncorrelated per receiver.
+		corrLost := make(map[string]bool, len(n.groups))
+		for name, gr := range n.groups {
+			corrLost[name] = gr.loss.Bool(gr.g.Loss * CorrelatedShare)
+		}
+		for _, r := range n.rcvs {
+			if corrLost[r.Group.Name] {
+				n.RouterDrops++
+				continue
+			}
+			n.deliverToReceiver(exit, r, o.Pkt)
+		}
+		return
+	}
+	for _, r := range n.rcvs {
+		if r.id == o.Dest.Node {
+			gr := n.groups[r.Group.Name]
+			if gr.loss.Bool(gr.g.Loss * CorrelatedShare) {
+				n.RouterDrops++
+				return
+			}
+			n.deliverToReceiver(exit, r, o.Pkt)
+			return
+		}
+	}
+}
+
+// deliverToReceiver applies the tail-link model for one receiver: the
+// group's one-way delay, the lower-layer latency, uncorrelated loss at
+// the receiver NIC, then CPU processing before the protocol sees it.
+func (n *Network) deliverToReceiver(exit sim.Time, r *ReceiverHost, p *packet.Packet) {
+	if r.rxRng.Bool(r.Group.Loss * (1 - CorrelatedShare)) {
+		n.NICDrops++
+		return
+	}
+	arrive := exit + r.Group.Delay + n.cfg.LowerLayerDelay
+	pkt := p.Clone()
+	n.Engine.At(arrive, func() {
+		now := n.Engine.Now()
+		done := r.cpu(now, len(pkt.Payload))
+		n.Engine.At(done, func() {
+			t := n.Engine.Now()
+			r.M.HandlePacket(t, pkt)
+			n.drainReads(r, t)
+			n.flushReceiver(r, t)
+		})
+	})
+}
+
+// flushReceiver routes receiver feedback back to the sender, and — for
+// the local-recovery extension — multicast NAKs and repairs to the whole
+// group including the sender.
+func (n *Network) flushReceiver(r *ReceiverHost, now sim.Time) {
+	for _, p := range r.M.OutgoingMulticast() {
+		cpuDone := r.cpu(now, len(p.Payload))
+		exit, dropped := r.nic(cpuDone, p.WireSize())
+		if dropped {
+			continue
+		}
+		// Origin tail link: one correlated draw covers the climb to the
+		// backbone.
+		gr := n.groups[r.Group.Name]
+		if gr.loss.Bool(gr.g.Loss * CorrelatedShare) {
+			n.RouterDrops++
+			continue
+		}
+		// Fan out to the sender (delay = origin's tail only) ...
+		pkt := p.Clone()
+		origin := r
+		n.Engine.At(exit+r.Group.Delay+n.cfg.LowerLayerDelay, func() {
+			t0 := n.Engine.Now()
+			done := n.snd.cpu(t0, len(pkt.Payload))
+			n.Engine.At(done, func() {
+				t := n.Engine.Now()
+				n.snd.M.HandlePacket(t, origin.id, pkt)
+				n.flushSender(t)
+			})
+		})
+		// ... and to every other receiver (origin tail + their tail).
+		for _, dst := range n.rcvs {
+			if dst == r {
+				continue
+			}
+			dgr := n.groups[dst.Group.Name]
+			if dgr.loss.Bool(dgr.g.Loss * CorrelatedShare) {
+				n.RouterDrops++
+				continue
+			}
+			n.deliverToReceiver(exit+r.Group.Delay, dst, p)
+		}
+	}
+	for _, p := range r.M.Outgoing() {
+		cpuDone := r.cpu(now, len(p.Payload))
+		exit, dropped := r.nic(cpuDone, p.WireSize())
+		if dropped {
+			continue
+		}
+		gr := n.groups[r.Group.Name]
+		if gr.loss.Bool(gr.g.Loss * CorrelatedShare) {
+			n.RouterDrops++
+			continue
+		}
+		if r.rxRng.Bool(r.Group.Loss * (1 - CorrelatedShare)) {
+			n.NICDrops++
+			continue
+		}
+		arrive := exit + r.Group.Delay + n.cfg.LowerLayerDelay
+		pkt := p.Clone()
+		from := r.id
+		n.Engine.At(arrive, func() {
+			t0 := n.Engine.Now()
+			done := n.snd.cpu(t0, len(pkt.Payload))
+			n.Engine.At(done, func() {
+				t := n.Engine.Now()
+				n.snd.M.HandlePacket(t, from, pkt)
+				n.flushSender(t)
+			})
+		})
+	}
+}
+
+// done reports whether the whole transfer has completed.
+func (n *Network) done() bool {
+	if !n.snd.M.Done() {
+		return false
+	}
+	for _, r := range n.rcvs {
+		if !r.Finished {
+			return false
+		}
+	}
+	return true
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Duration is when the last receiver finished delivering the stream.
+	Duration sim.Time
+	// Completed reports whether every receiver finished within the
+	// limit.
+	Completed bool
+	// Bytes is the stream size delivered per receiver.
+	Bytes int64
+	// NICDrops and RouterDrops count simulated losses.
+	NICDrops, RouterDrops int64
+}
+
+// ThroughputMbps returns the end-to-end goodput in megabits/second.
+func (r Result) ThroughputMbps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Duration.Seconds() / 1e6
+}
+
+// Run drives the simulation until the transfer completes or limit
+// elapses.
+func (n *Network) Run(limit sim.Time) Result {
+	n.Start()
+	for n.Engine.Now() < limit && !n.done() {
+		if !n.Engine.Step() {
+			break
+		}
+	}
+	res := Result{
+		Completed:   true,
+		NICDrops:    n.NICDrops,
+		RouterDrops: n.RouterDrops,
+	}
+	for _, r := range n.rcvs {
+		if !r.Finished {
+			res.Completed = false
+			continue
+		}
+		if r.FinishedAt > res.Duration {
+			res.Duration = r.FinishedAt
+		}
+		res.Bytes = r.Received
+	}
+	return res
+}
+
+// String describes the network briefly.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim{rate=%.0fMbps receivers=%d}", n.cfg.LineRate*8/1e6, len(n.rcvs))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/rate"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestTraceCoversLossyTransfer runs a lossy transfer with counting
+// sinks attached to both sides and checks that the protocol's life
+// events all show up: transmissions, gaps, NAKs, retransmissions,
+// updates, membership and completion.
+func TestTraceCoversLossyTransfer(t *testing.T) {
+	cfg := DefaultConfig(Rate10Mbps, 13)
+	net := New(cfg)
+	rcfg := rate.DefaultConfig()
+	rcfg.MaxRate = Rate10Mbps
+
+	var sndTrace trace.CountingSink
+	s := sender.New(sender.Config{
+		SndBuf: 64 << 10, Rate: rcfg, ExpectedReceivers: 2,
+		Trace: &sndTrace,
+	})
+	net.AddSender(s, app.NewMemorySource(512<<10))
+
+	var rcvTraces []*trace.CountingSink
+	for i := 0; i < 2; i++ {
+		ct := &trace.CountingSink{}
+		rcvTraces = append(rcvTraces, ct)
+		r := receiver.New(receiver.Config{
+			RcvBuf: 64 << 10, AssumedRTT: 200 * sim.Millisecond,
+			Trace: ct,
+		})
+		net.AddReceiver(r, GroupC, app.MemorySink{})
+	}
+	res := net.Run(600 * sim.Second)
+	if !res.Completed {
+		t.Fatal("transfer incomplete")
+	}
+
+	st := s.Stats()
+	if got := sndTrace.Count(trace.SendData); got != st.PacketsSent {
+		t.Errorf("SendData events %d != PacketsSent %d", got, st.PacketsSent)
+	}
+	if got := sndTrace.Count(trace.SendRetransmission); got != st.Retransmissions {
+		t.Errorf("retransmission events %d != stat %d", got, st.Retransmissions)
+	}
+	if got := sndTrace.Count(trace.Release); got != int64(st.PacketsSent) {
+		// Every first-transmission packet (incl. FIN) is eventually
+		// released exactly once.
+		t.Errorf("Release events %d != packets %d", got, st.PacketsSent)
+	}
+	if sndTrace.Count(trace.MemberJoined) != 2 {
+		t.Errorf("MemberJoined events = %d", sndTrace.Count(trace.MemberJoined))
+	}
+	if sndTrace.Count(trace.MemberLeft) != 2 {
+		t.Errorf("MemberLeft events = %d", sndTrace.Count(trace.MemberLeft))
+	}
+	if sndTrace.Count(trace.NakErrSent) != 0 {
+		t.Error("NAK_ERR traced in an H-RMC run")
+	}
+	if sndTrace.Count(trace.RateCut) == 0 {
+		t.Error("no rate cuts traced under 2% loss")
+	}
+
+	for i, ct := range rcvTraces {
+		rst := net.Receivers()[i].M.Stats()
+		if got := ct.Count(trace.NakSent); got != rst.NaksSent+rst.NakRetries {
+			t.Errorf("receiver %d: NakSent events %d != stats %d", i, got, rst.NaksSent+rst.NakRetries)
+		}
+		if ct.Count(trace.GapDetected) == 0 {
+			t.Errorf("receiver %d: no gaps traced under loss", i)
+		}
+		if got := ct.Count(trace.UpdateSent); got != rst.UpdatesSent {
+			t.Errorf("receiver %d: UpdateSent events %d != stats %d", i, got, rst.UpdatesSent)
+		}
+		if ct.Count(trace.StreamComplete) != 1 {
+			t.Errorf("receiver %d: StreamComplete events = %d", i, ct.Count(trace.StreamComplete))
+		}
+		last, ok := ct.Last(trace.StreamComplete)
+		if !ok || last.Value != 512<<10 {
+			t.Errorf("receiver %d: completion event carries %d bytes", i, last.Value)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder: it must never
+// panic, and anything it accepts must re-encode to a packet that decodes
+// to the same header and payload (canonical round trip).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of each packet type plus mutations.
+	for _, ty := range Types() {
+		p := &Packet{Header: Header{
+			Type: ty, Seq: 12345, RateAdv: 999, SrcPort: 7, DstPort: 9,
+		}}
+		if ty == TypeData {
+			p.Payload = []byte("fuzz seed payload")
+			p.Length = uint32(len(p.Payload))
+		}
+		buf, err := p.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		mut := append([]byte(nil), buf...)
+		mut[4] ^= 0x80
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := p.Encode(nil)
+		if err != nil {
+			t.Fatalf("accepted packet does not re-encode: %v (%v)", err, p)
+		}
+		q, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded packet does not decode: %v", err)
+		}
+		if q.Header != p.Header || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("canonical round trip changed the packet:\n %+v\n %+v", p, q)
+		}
+	})
+}

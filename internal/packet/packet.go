@@ -1,0 +1,306 @@
+// Package packet implements the RMC/H-RMC wire format: the 20-byte packet
+// header of Figure 1 of the paper and the eleven packet types of Table 1.
+//
+// Layout (big-endian, 20 bytes, mirroring the paper's Figure 1):
+//
+//	 0                   1                   2                   3
+//	+---------------------------------+---------------------------------+
+//	|           Source Port           |        Destination Port         |
+//	+---------------------------------+---------------------------------+
+//	|                         Sequence Number                           |
+//	+-------------------------------------------------------------------+
+//	|                        Rate Advertisement                         |
+//	+-------------------------------------------------------------------+
+//	|                             Length                                |
+//	+---------------------------------+----------------+----------------+
+//	|            Checksum             |     Tries      | Flags | Type   |
+//	+---------------------------------+----------------+----------------+
+//
+// The paper's figure draws the URG and FIN flags on their own row but
+// states the header is 20 bytes; here the flags occupy the top two bits of
+// the final octet and the packet type the low six bits, which preserves
+// the 20-byte size.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderSize is the encoded size of an RMC/H-RMC header in bytes.
+const HeaderSize = 20
+
+// Type identifies an RMC/H-RMC packet type (Table 1 of the paper).
+type Type uint8
+
+// Packet types. DATA through KEEPALIVE are the nine original RMC types;
+// UPDATE and PROBE were added by H-RMC.
+const (
+	TypeInvalid       Type = iota // zero value; never on the wire
+	TypeData                      // sender: data transmissions and retransmissions
+	TypeNak                       // receiver: request data retransmission
+	TypeNakErr                    // sender: cannot satisfy retransmission request
+	TypeJoin                      // receiver: request to join the multicast group
+	TypeJoinResponse              // sender: join request accepted
+	TypeLeave                     // receiver: leaving the multicast group
+	TypeLeaveResponse             // sender: leave request received
+	TypeControl                   // receiver: request a reduced transmission rate
+	TypeKeepalive                 // sender: keep the connection active when idle
+	TypeUpdate                    // H-RMC receiver: periodic state information
+	TypeProbe                     // H-RMC sender: solicit state information
+	// TypeFec carries XOR parity for the forward-error-correction
+	// extension (Section 7, item 4); it is not part of the paper's
+	// Table 1. Seq is the first covered sequence number, Length the
+	// group size.
+	TypeFec
+	typeMax
+)
+
+var typeNames = [...]string{
+	TypeInvalid:       "INVALID",
+	TypeData:          "DATA",
+	TypeNak:           "NAK",
+	TypeNakErr:        "NAK_ERR",
+	TypeJoin:          "JOIN",
+	TypeJoinResponse:  "JOIN_RESPONSE",
+	TypeLeave:         "LEAVE",
+	TypeLeaveResponse: "LEAVE_RESPONSE",
+	TypeControl:       "CONTROL",
+	TypeKeepalive:     "KEEPALIVE",
+	TypeUpdate:        "UPDATE",
+	TypeProbe:         "PROBE",
+	TypeFec:           "FEC",
+}
+
+// String returns the paper's name for the packet type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined wire type.
+func (t Type) Valid() bool { return t > TypeInvalid && t < typeMax }
+
+// Types returns the eleven packet types of the paper's Table 1, in
+// order. The FEC extension type is excluded: it is this library's
+// addition, not part of the paper's wire format.
+func Types() []Type {
+	ts := make([]Type, 0, TypeProbe)
+	for t := TypeData; t <= TypeProbe; t++ {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// Header flag bits, stored in the top bits of the final header octet.
+const (
+	FlagURG uint8 = 0x80 // urgent rate request: stop transmission two RTTs
+	FlagFIN uint8 = 0x40 // end of the data stream
+
+	flagMask = FlagURG | FlagFIN
+	typeMask = ^flagMask & 0xFF
+)
+
+// NodeID identifies a host endpoint. In the simulator it is a dense index;
+// the UDP transport maps it to and from the peer's unicast address, which
+// is all the state the paper's sender keeps per receiver.
+type NodeID uint32
+
+// String formats the node as a dotted pseudo-address for logs.
+func (n NodeID) String() string {
+	return fmt.Sprintf("10.%d.%d.%d", (n>>16)&0xFF, (n>>8)&0xFF, n&0xFF)
+}
+
+// Header is the decoded 20-byte RMC/H-RMC packet header.
+type Header struct {
+	SrcPort uint16
+	DstPort uint16
+	// Seq is the packet sequence number. Its meaning depends on Type:
+	// DATA carries the packet's own sequence number; NAK the first missing
+	// sequence number; UPDATE, JOIN, CONTROL and PROBE the next expected
+	// (or queried) sequence number; KEEPALIVE the last sequence sent.
+	Seq uint32
+	// RateAdv is the flow-control rate advertisement in bytes/second:
+	// the current transmission rate in sender packets, the suggested
+	// reduced rate in CONTROL packets.
+	RateAdv uint32
+	// Length is the payload length in bytes for DATA packets. For NAK
+	// packets it carries the count of consecutive missing packets
+	// starting at Seq.
+	Length uint32
+	// Checksum is the Internet checksum over the header (with this field
+	// zero) and payload.
+	Checksum uint16
+	// Tries counts transmissions of this packet (0 for the first), used
+	// for Karn's-algorithm ambiguity detection.
+	Tries uint8
+	Type  Type
+	Flags uint8 // FlagURG | FlagFIN
+}
+
+// Packet is a header plus payload. Only DATA packets carry a payload.
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// URG reports whether the urgent flag is set.
+func (p *Header) URG() bool { return p.Flags&FlagURG != 0 }
+
+// FIN reports whether the end-of-stream flag is set.
+func (p *Header) FIN() bool { return p.Flags&FlagFIN != 0 }
+
+// WireSize returns the encoded size of the packet in bytes.
+func (p *Packet) WireSize() int { return HeaderSize + len(p.Payload) }
+
+// String renders a compact single-line description for traces.
+func (p *Packet) String() string {
+	flags := ""
+	if p.URG() {
+		flags += " URG"
+	}
+	if p.FIN() {
+		flags += " FIN"
+	}
+	return fmt.Sprintf("%s seq=%d len=%d rate=%d tries=%d%s",
+		p.Type, p.Seq, p.Length, p.RateAdv, p.Tries, flags)
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+// Encoding and decoding errors.
+var (
+	ErrShortPacket  = errors.New("packet: buffer shorter than header")
+	ErrBadChecksum  = errors.New("packet: checksum mismatch")
+	ErrBadType      = errors.New("packet: unknown packet type")
+	ErrLengthField  = errors.New("packet: length field does not match payload")
+	ErrFlagsOverlap = errors.New("packet: flags overlap type bits")
+)
+
+// Encode appends the wire encoding of p to dst and returns the extended
+// slice. The checksum is computed over the header and payload and stored
+// in both the output and p.Checksum.
+func (p *Packet) Encode(dst []byte) ([]byte, error) {
+	if !p.Type.Valid() {
+		return dst, ErrBadType
+	}
+	if uint8(p.Type)&flagMask != 0 {
+		return dst, ErrFlagsOverlap
+	}
+	if p.Flags&^flagMask != 0 {
+		return dst, ErrFlagsOverlap
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	h := dst[off : off+HeaderSize]
+	binary.BigEndian.PutUint16(h[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], p.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], p.Seq)
+	binary.BigEndian.PutUint32(h[8:12], p.RateAdv)
+	binary.BigEndian.PutUint32(h[12:16], p.Length)
+	// h[16:18] checksum, filled below.
+	h[18] = p.Tries
+	h[19] = uint8(p.Type) | p.Flags
+	dst = append(dst, p.Payload...)
+	sum := Checksum(dst[off:])
+	binary.BigEndian.PutUint16(dst[off+16:off+18], sum)
+	p.Checksum = sum
+	return dst, nil
+}
+
+// Decode parses one packet from buf, which must contain exactly one
+// packet (header plus payload). The payload is copied out of buf.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderSize {
+		return nil, ErrShortPacket
+	}
+	var p Packet
+	p.SrcPort = binary.BigEndian.Uint16(buf[0:2])
+	p.DstPort = binary.BigEndian.Uint16(buf[2:4])
+	p.Seq = binary.BigEndian.Uint32(buf[4:8])
+	p.RateAdv = binary.BigEndian.Uint32(buf[8:12])
+	p.Length = binary.BigEndian.Uint32(buf[12:16])
+	p.Checksum = binary.BigEndian.Uint16(buf[16:18])
+	p.Tries = buf[18]
+	p.Type = Type(buf[19] & typeMask)
+	p.Flags = buf[19] & flagMask
+	if !p.Type.Valid() {
+		return nil, ErrBadType
+	}
+	if err := verifyChecksum(buf); err != nil {
+		return nil, err
+	}
+	if payload := buf[HeaderSize:]; len(payload) > 0 {
+		p.Payload = make([]byte, len(payload))
+		copy(p.Payload, payload)
+	}
+	if p.Type == TypeData && p.Length != uint32(len(p.Payload)) {
+		return nil, ErrLengthField
+	}
+	return &p, nil
+}
+
+func verifyChecksum(buf []byte) error {
+	want := binary.BigEndian.Uint16(buf[16:18])
+	// Compute with the checksum field zeroed, without mutating buf.
+	sum := checksumZeroed(buf, 16)
+	if sum != want {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+// Checksum computes the 16-bit Internet checksum (RFC 1071) of b with the
+// bytes at the checksum offset treated as zero if the caller has already
+// zeroed them. Callers encoding a packet should zero the checksum field
+// first; Encode does this implicitly by computing before filling it in.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// checksumZeroed computes the Internet checksum of b treating the two
+// bytes at off as zero.
+func checksumZeroed(b []byte, off int) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		hi, lo := b[i], b[i+1]
+		if i == off {
+			hi, lo = 0, 0
+		}
+		sum += uint32(hi)<<8 | uint32(lo)
+	}
+	if n%2 == 1 {
+		v := b[n-1]
+		if n-1 == off {
+			v = 0
+		}
+		sum += uint32(v) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}

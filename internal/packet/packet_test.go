@@ -1,0 +1,297 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeNames(t *testing.T) {
+	want := map[Type]string{
+		TypeData:          "DATA",
+		TypeNak:           "NAK",
+		TypeNakErr:        "NAK_ERR",
+		TypeJoin:          "JOIN",
+		TypeJoinResponse:  "JOIN_RESPONSE",
+		TypeLeave:         "LEAVE",
+		TypeLeaveResponse: "LEAVE_RESPONSE",
+		TypeControl:       "CONTROL",
+		TypeKeepalive:     "KEEPALIVE",
+		TypeUpdate:        "UPDATE",
+		TypeProbe:         "PROBE",
+	}
+	for ty, name := range want {
+		if ty.String() != name {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), name)
+		}
+		if !ty.Valid() {
+			t.Errorf("%s not Valid()", name)
+		}
+	}
+	if TypeInvalid.Valid() {
+		t.Error("TypeInvalid reports Valid()")
+	}
+	if Type(200).Valid() {
+		t.Error("Type(200) reports Valid()")
+	}
+}
+
+func TestTypesTable(t *testing.T) {
+	ts := Types()
+	if len(ts) != 11 {
+		t.Fatalf("Types() returned %d types, want the 11 of Table 1", len(ts))
+	}
+	if ts[0] != TypeData || ts[len(ts)-1] != TypeProbe {
+		t.Errorf("Types() order wrong: %v", ts)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{
+			SrcPort: 5001,
+			DstPort: 7000,
+			Seq:     0xDEADBEEF,
+			RateAdv: 1_250_000,
+			Length:  5,
+			Tries:   3,
+			Type:    TypeData,
+			Flags:   FlagFIN,
+		},
+		Payload: []byte("hello"),
+	}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize+5 {
+		t.Fatalf("encoded size %d, want %d", len(buf), HeaderSize+5)
+	}
+	q, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SrcPort != p.SrcPort || q.DstPort != p.DstPort || q.Seq != p.Seq ||
+		q.RateAdv != p.RateAdv || q.Length != p.Length || q.Tries != p.Tries ||
+		q.Type != p.Type || q.Flags != p.Flags {
+		t.Errorf("decoded header mismatch:\n got %+v\nwant %+v", q.Header, p.Header)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Errorf("payload mismatch: %q vs %q", q.Payload, p.Payload)
+	}
+	if !q.FIN() || q.URG() {
+		t.Errorf("flags decoded wrong: URG=%v FIN=%v", q.URG(), q.FIN())
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeKeepalive, Seq: 9}}
+	prefix := []byte{1, 2, 3}
+	buf, err := p.Encode(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:3], prefix) {
+		t.Error("Encode overwrote existing bytes")
+	}
+	if _, err := Decode(buf[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeData, Seq: 1, Length: 3}, Payload: []byte("abc")}
+	good, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Decode(good[:HeaderSize-1]); err != ErrShortPacket {
+		t.Errorf("short buffer: got %v, want ErrShortPacket", err)
+	}
+
+	// Corrupt a payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[HeaderSize] ^= 0xFF
+	if _, err := Decode(bad); err != ErrBadChecksum {
+		t.Errorf("corrupted payload: got %v, want ErrBadChecksum", err)
+	}
+
+	// Corrupt a header byte.
+	bad = append([]byte(nil), good...)
+	bad[4] ^= 0x01
+	if _, err := Decode(bad); err != ErrBadChecksum {
+		t.Errorf("corrupted header: got %v, want ErrBadChecksum", err)
+	}
+
+	// Unknown type (also breaks checksum, so patch the type byte on a
+	// packet and recompute by re-encoding through a raw buffer).
+	bad = append([]byte(nil), good...)
+	bad[19] = 63 // valid flags bits clear, type out of range
+	bad[16], bad[17] = 0, 0
+	sum := Checksum(bad)
+	bad[16], bad[17] = byte(sum>>8), byte(sum)
+	if _, err := Decode(bad); err != ErrBadType {
+		t.Errorf("unknown type: got %v, want ErrBadType", err)
+	}
+
+	// DATA length field disagreeing with payload size.
+	bad = append([]byte(nil), good...)
+	bad[15] = 7 // length = 7, payload = 3
+	bad[16], bad[17] = 0, 0
+	sum = Checksum(bad)
+	bad[16], bad[17] = byte(sum>>8), byte(sum)
+	if _, err := Decode(bad); err != ErrLengthField {
+		t.Errorf("length mismatch: got %v, want ErrLengthField", err)
+	}
+}
+
+func TestEncodeRejectsBadType(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeInvalid}}
+	if _, err := p.Encode(nil); err != ErrBadType {
+		t.Errorf("got %v, want ErrBadType", err)
+	}
+	p = &Packet{Header: Header{Type: TypeData, Flags: 0x01}}
+	if _, err := p.Encode(nil); err != ErrFlagsOverlap {
+		t.Errorf("bad flags: got %v, want ErrFlagsOverlap", err)
+	}
+}
+
+func TestChecksumKnownValues(t *testing.T) {
+	// RFC 1071 example: bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2 before
+	// complement, so checksum is ^0xddf2 = 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd length pads with a zero byte.
+	if got, want := Checksum([]byte{0xFF}), ^uint16(0xFF00); got != want {
+		t.Errorf("odd-length checksum = %#04x, want %#04x", got, want)
+	}
+	if got := Checksum(nil); got != 0xFFFF {
+		t.Errorf("empty checksum = %#04x, want 0xFFFF", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeData, Length: 2, Seq: 7}, Payload: []byte{1, 2}}
+	q := p.Clone()
+	q.Payload[0] = 99
+	q.Seq = 8
+	if p.Payload[0] != 1 || p.Seq != 7 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if s := NodeID(0x010203).String(); s != "10.1.2.3" {
+		t.Errorf("NodeID string = %q", s)
+	}
+}
+
+func TestHeaderFlagHelpers(t *testing.T) {
+	h := Header{Flags: FlagURG}
+	if !h.URG() || h.FIN() {
+		t.Error("URG-only header decoded wrong")
+	}
+	h = Header{Flags: FlagURG | FlagFIN}
+	if !h.URG() || !h.FIN() {
+		t.Error("URG|FIN header decoded wrong")
+	}
+}
+
+// Property: every valid random packet round-trips exactly.
+func TestPropRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(src, dst uint16, seq, rate uint32, tries uint8, tyRaw, flagRaw uint8, payload []byte) bool {
+		ty := Type(tyRaw%uint8(typeMax-1)) + 1
+		if ty != TypeData {
+			payload = nil
+		}
+		p := &Packet{
+			Header: Header{
+				SrcPort: src, DstPort: dst, Seq: seq, RateAdv: rate,
+				Length: uint32(len(payload)), Tries: tries, Type: ty,
+				Flags: (flagRaw & flagMask),
+			},
+			Payload: payload,
+		}
+		if ty == TypeNak {
+			p.Length = rng.Uint32() // NAK length is a missing-count, not payload size
+		}
+		buf, err := p.Encode(nil)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return q.Header == p.Header && bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping any single byte of an encoded packet is either
+// detected (decode error) or leaves the packet identical (impossible for
+// a flip, so: always detected or decodes to different-but-valid only if
+// the checksum collides — the Internet checksum cannot collide on a
+// single-byte flip, so any flip must error or restore the original).
+func TestPropSingleByteCorruptionDetected(t *testing.T) {
+	p := &Packet{
+		Header:  Header{SrcPort: 1, DstPort: 2, Seq: 3, RateAdv: 4, Length: 8, Type: TypeData},
+		Payload: []byte("payload!"),
+	}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %#x went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := &Packet{
+		Header:  Header{Type: TypeData, Length: 1400},
+		Payload: make([]byte, 1400),
+	}
+	buf := make([]byte, 0, p.WireSize())
+	b.SetBytes(int64(p.WireSize()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = p.Encode(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := &Packet{
+		Header:  Header{Type: TypeData, Length: 1400},
+		Payload: make([]byte, 1400),
+	}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,853 @@
+// Package receiver implements the H-RMC receiver of Figure 9 as a
+// sans-I/O state machine: the Main Packet Processor (reassembly, gap
+// detection, rate requests), the NAK Manager with local NAK suppression,
+// the Update Generator with its dynamic period, and the Application
+// Interface.
+//
+// The machine is driven from outside: the owner feeds packets with
+// HandlePacket, advances timers with Advance, reads the stream with Read,
+// and drains queued feedback packets with Outgoing. All feedback is
+// unicast to the sender. The same code runs under the discrete-event
+// simulator and the live UDP transport.
+//
+// Wire-field conventions (see the packet package): UPDATE, CONTROL and
+// JOIN carry the receiver's next expected sequence number (rcv_nxt) in
+// the Seq field. NAK carries the first missing sequence number in Seq,
+// the count of consecutive missing packets in Length, and — because the
+// rate-advertisement field is meaningless from receiver to sender — the
+// receiver's rcv_nxt in RateAdv, so every feedback packet updates the
+// sender's membership state as Section 3 of the paper requires.
+package receiver
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/fec"
+	"repro/internal/kernel"
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+const (
+	// HRMC is the full hybrid protocol: periodic updates and probe
+	// responses.
+	HRMC Mode = iota
+	// RMC is the original pure NAK-based protocol: no updates, probes
+	// are ignored.
+	RMC
+)
+
+func (m Mode) String() string {
+	if m == RMC {
+		return "RMC"
+	}
+	return "H-RMC"
+}
+
+// Config parametrizes a receiver.
+type Config struct {
+	// LocalAddr identifies this receiver; the sender keeps it as the
+	// member's unicast address.
+	LocalAddr packet.NodeID
+	// LocalPort and RemotePort fill the port fields of feedback packets.
+	LocalPort, RemotePort uint16
+	// RcvBuf is the per-socket kernel receive buffer in bytes; the
+	// receive window holds RcvBuf/(MSS+header) packets.
+	RcvBuf int
+	// MSS is the data payload size per packet.
+	MSS int
+	// Mode selects H-RMC or the RMC baseline.
+	Mode Mode
+	// InitialSeq is the first sequence number of the stream, agreed at
+	// session setup (the simulator and the live transport both configure
+	// it on all parties).
+	InitialSeq seqspace.Seq
+
+	// InitialUpdatePeriod is the Update Generator's starting period; the
+	// paper uses 50 jiffies (0.5 s).
+	InitialUpdatePeriod sim.Time
+	// MinUpdatePeriod and MaxUpdatePeriod bound the dynamic adjustment.
+	MinUpdatePeriod, MaxUpdatePeriod sim.Time
+	// NakRetryInterval is the NAK Manager's base resend interval for
+	// pending NAKs (local NAK suppression window); retries back off
+	// linearly with the try count.
+	NakRetryInterval sim.Time
+	// AssumedRTT seeds the round-trip estimate used by the WARNBUF rule
+	// and urgent-request throttling until the JOIN exchange measures one.
+	AssumedRTT sim.Time
+	// WarnBuf is the number of round-trip times of sending the warning
+	// rule looks ahead; the paper sets 4.
+	WarnBuf int
+
+	// LocalRecovery enables the local-recovery extension (Section 7,
+	// item 3): NAKs are multicast to the whole group with SRM-style
+	// suppression, and receivers holding the requested data answer with
+	// multicast repairs after a randomized delay, offloading
+	// retransmission work from the sender.
+	LocalRecovery bool
+	// RecoverySeed seeds the randomized repair/suppression timers;
+	// zero derives one from LocalAddr.
+	RecoverySeed uint64
+
+	// FECGroupSize mirrors the sender's FEC extension setting. When
+	// positive, the first NAK for a fresh gap is deferred long enough
+	// for the group's parity packet to arrive and repair single losses
+	// locally, so FEC actually removes NAK round trips instead of merely
+	// racing them.
+	FECGroupSize int
+
+	// Stats receives counters; nil allocates a private set.
+	Stats *stats.Receiver
+	// Trace receives protocol events; nil disables tracing.
+	Trace trace.Sink
+}
+
+func (c *Config) sanitize() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.RcvBuf <= 0 {
+		c.RcvBuf = 64 << 10
+	}
+	if c.InitialUpdatePeriod <= 0 {
+		c.InitialUpdatePeriod = 50 * kernel.Jiffy
+	}
+	if c.MinUpdatePeriod <= 0 {
+		c.MinUpdatePeriod = kernel.Jiffy
+	}
+	if c.MaxUpdatePeriod <= 0 {
+		c.MaxUpdatePeriod = 500 * kernel.Jiffy
+	}
+	if c.NakRetryInterval <= 0 {
+		c.NakRetryInterval = 4 * kernel.Jiffy
+	}
+	if c.AssumedRTT < 2*kernel.Jiffy {
+		c.AssumedRTT = 2 * kernel.Jiffy // jiffy-clock measurement floor
+	}
+	if c.WarnBuf <= 0 {
+		c.WarnBuf = 4
+	}
+	if c.Stats == nil {
+		c.Stats = &stats.Receiver{}
+	}
+}
+
+// nakEntry tracks one pending missing packet for the NAK Manager.
+type nakEntry struct {
+	lastSent sim.Time
+	tries    int
+	// deferUntil suppresses the first NAK until the given time (FEC
+	// extension: give the parity packet a chance to repair the gap).
+	deferUntil sim.Time
+}
+
+// Receiver is the H-RMC receiver state machine. Not safe for concurrent
+// use; drivers serialize access.
+type Receiver struct {
+	cfg Config
+	wnd *window.ReceiveWindow
+	st  *stats.Receiver
+
+	out kernel.Queue // queued feedback packets (all unicast to sender)
+
+	// NAK Manager state: one entry per missing sequence number.
+	pending  map[seqspace.Seq]*nakEntry
+	nakTimer kernel.Timer
+
+	// Update Generator state.
+	updateTimer   kernel.Timer
+	updatePeriod  sim.Time
+	probesInPer   int  // probes received during the current period
+	feedbackInPer bool // other reverse traffic sent during the period
+
+	// JOIN handshake. The JOIN is retried until JOIN_RESPONSE arrives:
+	// membership is load-bearing in H-RMC (the sender holds releases for
+	// expected receivers), so the handshake must survive loss.
+	joined        bool // JOIN sent at least once
+	joinTime      sim.Time
+	joinTimer     kernel.Timer
+	joinAmbiguous bool // JOIN was retransmitted: RTT sample is unusable
+	joinAcked     bool
+	rttEstimate   sim.Time
+	lastControl   sim.Time // throttle for warning rate requests
+	lastUrgent    sim.Time // throttle for urgent rate requests
+	seenAnyData   bool
+	finDelivered  bool
+	leaveSent     bool
+	leaveAcked    bool
+
+	advRate uint32 // last rate advertisement heard from the sender
+
+	// fecCache retains payloads of recently received packets so parity
+	// can repair a loss even after earlier group members were consumed
+	// by the application (bounded to a few FEC groups; the kernel
+	// analogue is holding a handful of sk_buffs past delivery).
+	fecCache map[seqspace.Seq][]byte
+
+	// Local-recovery state.
+	outMC         kernel.Queue // multicast feedback/repairs
+	repairPending map[seqspace.Seq]sim.Time
+	repairTimer   kernel.Timer
+	rng           *sim.RNG
+}
+
+// ErrNotData is returned by HandlePacket for sender-bound packet types.
+var ErrNotData = errors.New("receiver: packet type is sender-bound")
+
+// New creates a receiver. The update timer starts armed so that a
+// receiver in a silent group still reports state.
+func New(cfg Config) *Receiver {
+	cfg.sanitize()
+	wndPackets := uint32(cfg.RcvBuf / (cfg.MSS + packet.HeaderSize))
+	if wndPackets == 0 {
+		wndPackets = 1
+	}
+	r := &Receiver{
+		cfg:          cfg,
+		wnd:          window.NewReceiveWindow(wndPackets, cfg.InitialSeq),
+		st:           cfg.Stats,
+		pending:      make(map[seqspace.Seq]*nakEntry),
+		updatePeriod: cfg.InitialUpdatePeriod,
+		rttEstimate:  cfg.AssumedRTT,
+	}
+	if cfg.Mode == HRMC {
+		r.updateTimer.Arm(sim.Time(cfg.InitialUpdatePeriod))
+	}
+	if cfg.FECGroupSize > 0 || cfg.LocalRecovery {
+		r.fecCache = make(map[seqspace.Seq][]byte)
+	}
+	if cfg.LocalRecovery {
+		seed := cfg.RecoverySeed
+		if seed == 0 {
+			seed = uint64(cfg.LocalAddr) + 0x10CA1
+		}
+		r.rng = sim.NewRNG(seed)
+		r.repairPending = make(map[seqspace.Seq]sim.Time)
+	}
+	return r
+}
+
+// Stats returns the receiver's counters.
+func (r *Receiver) Stats() *stats.Receiver { return r.st }
+
+// WindowSize returns the receive window size in packets.
+func (r *Receiver) WindowSize() uint32 { return r.wnd.Size() }
+
+// UpdatePeriod returns the Update Generator's current period.
+func (r *Receiver) UpdatePeriod() sim.Time { return r.updatePeriod }
+
+// RTT returns the receiver's current round-trip estimate.
+func (r *Receiver) RTT() sim.Time { return r.rttEstimate }
+
+// NextExpected returns rcv_nxt.
+func (r *Receiver) NextExpected() seqspace.Seq { return r.wnd.Next() }
+
+// Done reports whether the stream has been fully delivered to the
+// application and the LEAVE handshake has completed.
+func (r *Receiver) Done() bool { return r.finDelivered && r.leaveAcked }
+
+// FinDelivered reports whether the application has consumed the whole
+// stream.
+func (r *Receiver) FinDelivered() bool { return r.finDelivered }
+
+// Outgoing drains the queued feedback packets, in order. Every packet is
+// destined for the sender's unicast address.
+func (r *Receiver) Outgoing() []*packet.Packet { return r.out.Drain() }
+
+// OutgoingMulticast drains packets destined for the whole group
+// (multicast NAKs and repairs under the local-recovery extension).
+func (r *Receiver) OutgoingMulticast() []*packet.Packet { return r.outMC.Drain() }
+
+// HasOutgoing reports whether feedback is queued.
+func (r *Receiver) HasOutgoing() bool { return r.out.Len() > 0 || r.outMC.Len() > 0 }
+
+// emitNak routes a NAK: multicast under local recovery (so peers can
+// repair and suppress), unicast to the sender otherwise.
+func (r *Receiver) emitNak(p *packet.Packet) {
+	if r.cfg.LocalRecovery {
+		p.SrcPort = r.cfg.LocalPort
+		p.DstPort = r.cfg.RemotePort
+		r.outMC.Push(p)
+		return
+	}
+	r.emit(p)
+}
+
+func (r *Receiver) emit(p *packet.Packet) {
+	p.SrcPort = r.cfg.LocalPort
+	p.DstPort = r.cfg.RemotePort
+	r.out.Push(p)
+}
+
+// HandlePacket processes one packet from the sender. It corresponds to
+// hrmc_master_rcv on the receive path.
+func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
+	switch p.Type {
+	case packet.TypeData:
+		r.onData(now, p)
+	case packet.TypeKeepalive:
+		r.onKeepalive(now, p)
+	case packet.TypeProbe:
+		r.onProbe(now, p)
+	case packet.TypeJoinResponse:
+		r.onJoinResponse(now)
+	case packet.TypeLeaveResponse:
+		r.leaveAcked = true
+	case packet.TypeNak:
+		if !r.cfg.LocalRecovery {
+			return ErrNotData
+		}
+		r.onPeerNak(now, p)
+	case packet.TypeFec:
+		r.onFec(now, p)
+	case packet.TypeNakErr:
+		// The sender released data we still need: under H-RMC this is a
+		// protocol invariant violation surfaced to the application; the
+		// RMC baseline documents it as an application-visible error.
+		// Counted via stats (no counter increment needed beyond naks).
+	default:
+		return ErrNotData
+	}
+	return nil
+}
+
+func (r *Receiver) onData(now sim.Time, p *packet.Packet) {
+	r.advRate = p.RateAdv
+	firstData := !r.joined
+	r.seenAnyData = true
+	if r.repairPending != nil {
+		// Seeing the data (from anyone) cancels our scheduled repair.
+		delete(r.repairPending, seqspace.Seq(p.Seq))
+	}
+	res := r.wnd.Insert(p)
+	if firstData {
+		// "send a JOIN message to the sender in response to the first
+		// data packet that it receives" — carrying rcv_nxt after the
+		// packet has been processed.
+		r.joined = true
+		r.joinTime = now
+		r.sendJoin(now)
+	}
+	switch res {
+	case window.Duplicate:
+		r.st.Duplicates++
+		return
+	case window.OutOfWindow:
+		r.st.OutOfWindow++
+		return
+	}
+	r.st.DataReceived++
+	if r.fecCache != nil {
+		r.fecCache[seqspace.Seq(p.Seq)] = p.Payload
+		r.pruneFecCache()
+	}
+	r.syncNakList(now)
+	if p.FIN() {
+		// The FIN itself may still be out of order; delivery tracking
+		// happens in Read.
+		_ = p
+	}
+	r.maybeRateRequest(now)
+}
+
+// syncNakList reconciles the pending NAK list with the window's missing
+// set: gaps gain entries (NAKed immediately on first detection), filled
+// holes lose them.
+func (r *Receiver) syncNakList(now sim.Time) {
+	missing := r.wnd.Missing(nil)
+	present := make(map[seqspace.Seq]bool, len(r.pending))
+	newGap := false
+	for _, g := range missing {
+		for s := g.From; seqspace.Before(s, g.To); s++ {
+			present[s] = true
+			if _, ok := r.pending[s]; !ok {
+				e := &nakEntry{}
+				if r.cfg.FECGroupSize > 0 {
+					e.deferUntil = now + 2*r.cfg.NakRetryInterval
+				}
+				r.pending[s] = e
+				if !newGap {
+					trace.Emit(r.cfg.Trace, now, trace.GapDetected, uint32(s), 0)
+				}
+				newGap = true
+			}
+		}
+	}
+	for s := range r.pending {
+		if !present[s] {
+			delete(r.pending, s)
+		}
+	}
+	if newGap {
+		r.sendDueNaks(now)
+	}
+	r.armNakTimer(now)
+}
+
+// sendDueNaks transmits NAKs for pending entries whose suppression
+// window has expired, coalescing consecutive sequence numbers into one
+// NAK packet.
+func (r *Receiver) sendDueNaks(now sim.Time) {
+	gaps := r.wnd.Missing(nil)
+	sent := false
+	for _, g := range gaps {
+		var from seqspace.Seq
+		var count uint32
+		flushRun := func() {
+			if count == 0 {
+				return
+			}
+			sent = true
+			trace.Emit(r.cfg.Trace, now, trace.NakSent, uint32(from), int64(count))
+			r.emitNak(&packet.Packet{Header: packet.Header{
+				Type:    packet.TypeNak,
+				Seq:     uint32(from),
+				Length:  count,
+				RateAdv: uint32(r.wnd.Next()),
+			}})
+			count = 0
+		}
+		for s := g.From; seqspace.Before(s, g.To); s++ {
+			e := r.pending[s]
+			if e == nil {
+				flushRun()
+				continue
+			}
+			interval := r.cfg.NakRetryInterval * sim.Time(e.tries+1)
+			due := e.tries == 0 || now-e.lastSent >= interval
+			if now < e.deferUntil {
+				due = false
+			}
+			if !due {
+				flushRun()
+				continue
+			}
+			if e.tries == 0 {
+				r.st.NaksSent++
+			} else {
+				r.st.NakRetries++
+			}
+			e.lastSent = now
+			e.tries++
+			if count == 0 {
+				from = s
+			}
+			count++
+		}
+		flushRun()
+	}
+	if sent {
+		r.feedbackInPer = true
+	}
+}
+
+// armNakTimer schedules the NAK Manager for the earliest pending retry.
+func (r *Receiver) armNakTimer(now sim.Time) {
+	if len(r.pending) == 0 {
+		r.nakTimer.Disarm()
+		return
+	}
+	var earliest sim.Time
+	first := true
+	for _, e := range r.pending {
+		var at sim.Time
+		if e.tries == 0 {
+			at = now
+		} else {
+			at = e.lastSent + r.cfg.NakRetryInterval*sim.Time(e.tries+1)
+		}
+		if at < e.deferUntil {
+			at = e.deferUntil
+		}
+		if first || at < earliest {
+			earliest, first = at, false
+		}
+	}
+	if earliest < now {
+		earliest = now
+	}
+	r.nakTimer.Arm(earliest)
+}
+
+// maybeRateRequest applies the three flow-control rules of Section 2 on
+// each accepted data packet.
+func (r *Receiver) maybeRateRequest(now sim.Time) {
+	if pm := int64(r.wnd.Fill()) * 1000 / int64(r.wnd.Size()); pm > r.st.MaxFillPermille {
+		r.st.MaxFillPermille = pm
+	}
+	switch r.wnd.Region() {
+	case window.Safe:
+		return
+	case window.Warning:
+		// Rule 2: request a lower rate if the data sendable at the
+		// advertised rate over the next WARNBUF round trips exceeds the
+		// empty portion of the window.
+		horizon := sim.Time(r.cfg.WarnBuf) * r.rttEstimate
+		sendable := float64(r.advRate) * horizon.Seconds()
+		emptyBytes := float64(r.wnd.Empty()) * float64(r.cfg.MSS)
+		if sendable <= emptyBytes {
+			return
+		}
+		// Rate requests are deliberately not suppressed (Section 5.2);
+		// only the kernel's timer granularity bounds them.
+		if now-r.lastControl < kernel.Jiffy && r.lastControl != 0 {
+			return
+		}
+		r.lastControl = now
+		r.st.RateRequests++
+		trace.Emit(r.cfg.Trace, now, trace.RegionWarning, uint32(r.wnd.Next()), int64(r.wnd.Fill()))
+		r.emit(&packet.Packet{Header: packet.Header{
+			Type:    packet.TypeControl,
+			Seq:     uint32(r.wnd.Next()),
+			RateAdv: r.advRate / 2,
+		}})
+		r.feedbackInPer = true
+	case window.Critical:
+		// Rule 3: urgent request, stops the sender for two round trips
+		// regardless of the advertised rate. One per two round trips.
+		if now-r.lastUrgent < 2*r.rttEstimate && r.lastUrgent != 0 {
+			return
+		}
+		r.lastUrgent = now
+		r.st.UrgentRequests++
+		trace.Emit(r.cfg.Trace, now, trace.RegionCritical, uint32(r.wnd.Next()), int64(r.wnd.Fill()))
+		r.emit(&packet.Packet{Header: packet.Header{
+			Type:    packet.TypeControl,
+			Seq:     uint32(r.wnd.Next()),
+			RateAdv: r.advRate / 2,
+			Flags:   packet.FlagURG,
+		}})
+		r.feedbackInPer = true
+	}
+}
+
+// pruneFecCache bounds the recovery cache to a few FEC groups behind
+// the reassembly frontier.
+func (r *Receiver) pruneFecCache() {
+	limit := 4 * r.cfg.FECGroupSize
+	if len(r.fecCache) <= 2*limit {
+		return
+	}
+	for seq := range r.fecCache {
+		if int(seqspace.Diff(r.wnd.Next(), seq)) > limit {
+			delete(r.fecCache, seq)
+		}
+	}
+}
+
+// fecLookup resolves payloads for parity recovery from the window first,
+// then the recovery cache.
+func (r *Receiver) fecLookup(seq seqspace.Seq) ([]byte, bool) {
+	if pl, ok := r.wnd.PayloadAt(seq); ok {
+		return pl, true
+	}
+	pl, ok := r.fecCache[seq]
+	return pl, ok
+}
+
+// onPeerNak processes another receiver's multicast NAK (local-recovery
+// extension): requests covering our own pending gaps suppress our NAKs
+// (SRM-style), and requests for data we hold schedule a randomized
+// multicast repair, cancelled if someone else repairs first.
+func (r *Receiver) onPeerNak(now sim.Time, p *packet.Packet) {
+	r.st.PeerNaksHeard++
+	from := seqspace.Seq(p.Seq)
+	to := from + seqspace.Seq(p.Length)
+	if p.Length == 0 {
+		to = from + 1
+	}
+	for seq := from; seqspace.Before(seq, to); seq++ {
+		if e, ok := r.pending[seq]; ok {
+			// A peer already asked: count it as our own ask.
+			e.lastSent = now
+			if e.tries == 0 {
+				e.tries = 1
+			}
+			continue
+		}
+		if _, scheduled := r.repairPending[seq]; scheduled {
+			continue
+		}
+		if _, have := r.fecLookup(seq); have {
+			delay := kernel.Jiffy + sim.Time(r.rng.Intn(int(2*kernel.Jiffy)))
+			r.repairPending[seq] = now + delay
+		}
+	}
+	r.armNakTimer(now)
+	r.armRepairTimer(now)
+}
+
+// armRepairTimer schedules the earliest pending repair.
+func (r *Receiver) armRepairTimer(now sim.Time) {
+	if len(r.repairPending) == 0 {
+		r.repairTimer.Disarm()
+		return
+	}
+	var earliest sim.Time
+	first := true
+	for _, at := range r.repairPending {
+		if first || at < earliest {
+			earliest, first = at, false
+		}
+	}
+	if earliest < now {
+		earliest = now
+	}
+	r.repairTimer.Arm(earliest)
+}
+
+// fireRepairs multicasts due repairs.
+func (r *Receiver) fireRepairs(now sim.Time) {
+	for seq, at := range r.repairPending {
+		if at > now {
+			continue
+		}
+		delete(r.repairPending, seq)
+		payload, ok := r.fecLookup(seq)
+		if !ok {
+			continue
+		}
+		r.st.RepairsSent++
+		pl := make([]byte, len(payload))
+		copy(pl, payload)
+		rep := &packet.Packet{
+			Header: packet.Header{
+				Type:    packet.TypeData,
+				Seq:     uint32(seq),
+				Length:  uint32(len(pl)),
+				RateAdv: r.advRate,
+				Tries:   1, // a repair is by definition a retransmission
+			},
+			Payload: pl,
+		}
+		rep.SrcPort = r.cfg.LocalPort
+		rep.DstPort = r.cfg.RemotePort
+		r.outMC.Push(rep)
+	}
+	r.armRepairTimer(now)
+}
+
+// onFec attempts single-erasure recovery from an FEC parity packet
+// (extension): when exactly one packet of the covered group is missing
+// and the rest are still buffered, the loss is repaired locally with no
+// NAK round trip.
+func (r *Receiver) onFec(now sim.Time, p *packet.Packet) {
+	r.st.FecParityHeard++
+	rebuilt, ok := fec.Recover(p, r.fecLookup)
+	if !ok {
+		return
+	}
+	// Only rebuild data that is actually missing and fits the window.
+	seq := seqspace.Seq(rebuilt.Seq)
+	if seqspace.Before(seq, r.wnd.Next()) {
+		return
+	}
+	r.st.FecRecovered++
+	trace.Emit(r.cfg.Trace, now, trace.FecRecovered, rebuilt.Seq, int64(len(rebuilt.Payload)))
+	rebuilt.RateAdv = r.advRate
+	r.onData(now, rebuilt)
+	// Local repair must not look like loss feedback: the rebuilt packet
+	// filled its own gap, so the counters above tell the story.
+}
+
+func (r *Receiver) onKeepalive(now sim.Time, p *packet.Packet) {
+	r.st.KeepalivesHeard++
+	r.advRate = p.RateAdv
+	// The keepalive carries the last sequence number transmitted; if we
+	// have not received through it, the tail of a burst was lost.
+	r.wnd.ExtendHighest(seqspace.Seq(p.Seq))
+	r.syncNakList(now)
+}
+
+func (r *Receiver) onProbe(now sim.Time, p *packet.Packet) {
+	if r.cfg.Mode == RMC {
+		return // the RMC baseline predates probes
+	}
+	r.st.ProbesReceived++
+	r.probesInPer++
+	probeSeq := seqspace.Seq(p.Seq)
+	if seqspace.After(r.wnd.Next(), probeSeq) {
+		// All data up to and including the probed sequence number has
+		// been received: answer with an immediate UPDATE.
+		trace.Emit(r.cfg.Trace, now, trace.ProbeAnswered, p.Seq, 1)
+		r.sendUpdate(now)
+		return
+	}
+	// Otherwise the probed data is missing: make the gap visible and NAK
+	// immediately.
+	r.wnd.ExtendHighest(probeSeq)
+	r.syncNakList(now)
+	r.forceNak(now)
+}
+
+// forceNak retransmits a NAK for the first pending gap immediately,
+// bypassing suppression — the sender is blocked on this information.
+func (r *Receiver) forceNak(now sim.Time) {
+	gaps := r.wnd.Missing(nil)
+	if len(gaps) == 0 {
+		return
+	}
+	g := gaps[0]
+	for s := g.From; seqspace.Before(s, g.To); s++ {
+		if e := r.pending[s]; e != nil {
+			if e.tries > 0 {
+				r.st.NakRetries++
+			} else {
+				r.st.NaksSent++
+			}
+			e.lastSent = now
+			e.tries++
+		}
+	}
+	r.emitNak(&packet.Packet{Header: packet.Header{
+		Type:    packet.TypeNak,
+		Seq:     uint32(g.From),
+		Length:  g.Count(),
+		RateAdv: uint32(r.wnd.Next()),
+	}})
+	r.feedbackInPer = true
+	r.armNakTimer(now)
+}
+
+// sendJoin emits a JOIN and arms the retry timer.
+func (r *Receiver) sendJoin(now sim.Time) {
+	r.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeJoin,
+		Seq:  uint32(r.wnd.Next()),
+	}})
+	r.joinTimer.Arm(now + joinRetryInterval)
+}
+
+// joinRetryInterval paces JOIN retransmissions while no JOIN_RESPONSE
+// has arrived.
+const joinRetryInterval = 50 * kernel.Jiffy
+
+func (r *Receiver) onJoinResponse(now sim.Time) {
+	if r.joinAcked || !r.joined {
+		return
+	}
+	r.joinAcked = true
+	r.joinTimer.Disarm()
+	// Karn's rule: only an unambiguous (never-retransmitted) JOIN
+	// exchange yields an RTT sample. The jiffy clock cannot resolve
+	// sub-tick round trips, so the estimate floors at two jiffies.
+	if d := now - r.joinTime; d > 0 && !r.joinAmbiguous {
+		if d < 2*kernel.Jiffy {
+			d = 2 * kernel.Jiffy
+		}
+		r.rttEstimate = d
+	}
+}
+
+func (r *Receiver) sendUpdate(now sim.Time) {
+	r.st.UpdatesSent++
+	trace.Emit(r.cfg.Trace, now, trace.UpdateSent, uint32(r.wnd.Next()), 0)
+	r.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeUpdate,
+		Seq:  uint32(r.wnd.Next()),
+	}})
+	_ = now
+}
+
+// Advance fires any due timers: the NAK Manager and the Update
+// Generator. Drivers call it at their tick granularity or at NextWake.
+func (r *Receiver) Advance(now sim.Time) {
+	if r.nakTimer.Fire(now) {
+		r.sendDueNaks(now)
+		r.armNakTimer(now)
+	}
+	if r.updateTimer.Fire(now) {
+		r.onUpdateTimer(now)
+	}
+	if r.joinTimer.Fire(now) {
+		if !r.joinAcked && !r.finDelivered {
+			r.joinAmbiguous = true
+			r.sendJoin(now)
+		}
+	}
+	if r.repairTimer.Fire(now) {
+		r.fireRepairs(now)
+	}
+}
+
+// onUpdateTimer is the Update Generator of Figure 9: send a periodic
+// UPDATE (unless other reverse traffic already informed the sender this
+// period) and adjust the period by one jiffy based on whether probes
+// arrived — down when the sender had to probe, up when it did not.
+func (r *Receiver) onUpdateTimer(now sim.Time) {
+	if r.seenAnyData && !r.finDelivered {
+		if r.feedbackInPer {
+			r.st.UpdatesSkipped++
+		} else {
+			r.sendUpdate(now)
+		}
+	}
+	if r.probesInPer > 0 {
+		r.updatePeriod -= kernel.Jiffy
+		if r.updatePeriod < r.cfg.MinUpdatePeriod {
+			r.updatePeriod = r.cfg.MinUpdatePeriod
+		}
+	} else {
+		r.updatePeriod += kernel.Jiffy
+		if r.updatePeriod > r.cfg.MaxUpdatePeriod {
+			r.updatePeriod = r.cfg.MaxUpdatePeriod
+		}
+	}
+	r.probesInPer = 0
+	r.feedbackInPer = false
+	if !r.finDelivered {
+		r.updateTimer.Arm(now + r.updatePeriod)
+	}
+}
+
+// NextWake returns the earliest time Advance needs to run.
+func (r *Receiver) NextWake() (sim.Time, bool) {
+	return kernel.Earliest(&r.nakTimer, &r.updateTimer, &r.joinTimer, &r.repairTimer)
+}
+
+// Read delivers in-order stream bytes to the application. At end of
+// stream it returns io.EOF (after the final bytes) and queues the LEAVE
+// message.
+func (r *Receiver) Read(now sim.Time, buf []byte) (int, error) {
+	if r.finDelivered {
+		return 0, io.EOF
+	}
+	n, fin := r.wnd.Read(buf)
+	r.st.BytesDelivered += int64(n)
+	if fin {
+		r.finDelivered = true
+		trace.Emit(r.cfg.Trace, now, trace.StreamComplete, uint32(r.wnd.Next()), r.st.BytesDelivered)
+		r.updateTimer.Disarm()
+		if !r.leaveSent {
+			r.leaveSent = true
+			// A final UPDATE tells the sender everything was received,
+			// then LEAVE closes the membership. The RMC baseline has no
+			// UPDATE packet type.
+			if r.cfg.Mode == HRMC {
+				r.sendUpdate(now)
+			}
+			r.emit(&packet.Packet{Header: packet.Header{
+				Type: packet.TypeLeave,
+				Seq:  uint32(r.wnd.Next()),
+			}})
+		}
+		if n == 0 {
+			return 0, io.EOF
+		}
+	}
+	return n, nil
+}
+
+// Buffered returns the number of in-order packets awaiting Read.
+func (r *Receiver) Buffered() int { return r.wnd.Buffered() }
+
+// Window exposes the receive window for inspection in tests and stats.
+func (r *Receiver) Window() *window.ReceiveWindow { return r.wnd }

@@ -1,0 +1,525 @@
+package receiver
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+	"repro/internal/sim"
+	"repro/internal/window"
+)
+
+func newR(t *testing.T, mod func(*Config)) *Receiver {
+	t.Helper()
+	cfg := Config{
+		LocalAddr: 1,
+		RcvBuf:    32 * (1400 + packet.HeaderSize), // 32-packet window
+		MSS:       1400,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return New(cfg)
+}
+
+func data(seq seqspace.Seq, payload string) *packet.Packet {
+	return &packet.Packet{
+		Header: packet.Header{
+			Type:    packet.TypeData,
+			Seq:     uint32(seq),
+			Length:  uint32(len(payload)),
+			RateAdv: 100000,
+		},
+		Payload: []byte(payload),
+	}
+}
+
+func typesOf(pkts []*packet.Packet) []packet.Type {
+	ts := make([]packet.Type, len(pkts))
+	for i, p := range pkts {
+		ts[i] = p.Type
+	}
+	return ts
+}
+
+func findType(pkts []*packet.Packet, ty packet.Type) *packet.Packet {
+	for _, p := range pkts {
+		if p.Type == ty {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestJoinOnFirstData(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	out := r.Outgoing()
+	j := findType(out, packet.TypeJoin)
+	if j == nil {
+		t.Fatalf("no JOIN after first data packet; got %v", typesOf(out))
+	}
+	if j.Seq != 1 {
+		t.Errorf("JOIN carries next-expected %d, want 1", j.Seq)
+	}
+	// Second packet must not trigger another JOIN.
+	r.HandlePacket(kernel.Jiffy, data(1, "b"))
+	if findType(r.Outgoing(), packet.TypeJoin) != nil {
+		t.Error("JOIN repeated on second data packet")
+	}
+}
+
+func TestJoinResponseMeasuresRTT(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(100*sim.Millisecond, data(0, "a"))
+	r.Outgoing()
+	r.HandlePacket(130*sim.Millisecond, &packet.Packet{Header: packet.Header{Type: packet.TypeJoinResponse}})
+	if r.RTT() != 30*sim.Millisecond {
+		t.Errorf("RTT after JOIN exchange = %v, want 30ms", r.RTT())
+	}
+}
+
+func TestGapTriggersImmediateNak(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	// Sequence 1 is lost; 2 arrives.
+	r.HandlePacket(kernel.Jiffy, data(2, "c"))
+	out := r.Outgoing()
+	nak := findType(out, packet.TypeNak)
+	if nak == nil {
+		t.Fatalf("no NAK on gap; got %v", typesOf(out))
+	}
+	if nak.Seq != 1 || nak.Length != 1 {
+		t.Errorf("NAK covers seq=%d len=%d, want 1,1", nak.Seq, nak.Length)
+	}
+	if nak.RateAdv != 1 {
+		t.Errorf("NAK rcv_nxt field = %d, want 1", nak.RateAdv)
+	}
+	if r.Stats().NaksSent != 1 {
+		t.Errorf("NaksSent = %d", r.Stats().NaksSent)
+	}
+}
+
+func TestNakCoalescesConsecutiveGap(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	// 1,2,3 lost; 4 arrives: one NAK for the run of three.
+	r.HandlePacket(kernel.Jiffy, data(4, "e"))
+	nak := findType(r.Outgoing(), packet.TypeNak)
+	if nak == nil {
+		t.Fatal("no NAK")
+	}
+	if nak.Seq != 1 || nak.Length != 3 {
+		t.Errorf("NAK seq=%d len=%d, want 1,3", nak.Seq, nak.Length)
+	}
+}
+
+func TestNakSuppressionAndRetry(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	r.HandlePacket(kernel.Jiffy, data(2, "c"))
+	if findType(r.Outgoing(), packet.TypeNak) == nil {
+		t.Fatal("no initial NAK")
+	}
+	// More out-of-order arrivals for the same gap must not re-NAK
+	// (local NAK suppression).
+	r.HandlePacket(2*kernel.Jiffy, data(3, "d"))
+	if findType(r.Outgoing(), packet.TypeNak) != nil {
+		t.Error("suppressed NAK was resent on another arrival")
+	}
+	// But after the retry interval the NAK Manager resends.
+	wake, ok := r.NextWake()
+	if !ok {
+		t.Fatal("no NAK retry scheduled")
+	}
+	r.Advance(wake)
+	if findType(r.Outgoing(), packet.TypeNak) == nil {
+		t.Error("NAK Manager did not retry after the interval")
+	}
+	if r.Stats().NakRetries != 1 {
+		t.Errorf("NakRetries = %d, want 1", r.Stats().NakRetries)
+	}
+}
+
+func TestRetransmissionFillsGapAndCancelsNak(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.HandlePacket(kernel.Jiffy, data(2, "c"))
+	r.Outgoing()
+	r.HandlePacket(2*kernel.Jiffy, data(1, "b"))
+	if _, ok := r.NextWake(); ok {
+		// Update timer may still be armed in H-RMC; check it is not the
+		// NAK timer by ensuring no NAK goes out at that wake.
+	}
+	r.Advance(3 * kernel.Jiffy * 100)
+	if findType(r.Outgoing(), packet.TypeNak) != nil {
+		t.Error("NAK resent after the gap was filled")
+	}
+	buf := make([]byte, 10)
+	n, _ := r.Read(0, buf)
+	if n != 3 || string(buf[:3]) != "abc" {
+		t.Errorf("delivered %q", buf[:n])
+	}
+}
+
+func TestKeepaliveExposesTailLoss(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	// Packets 1 and 2 lost entirely; keepalive says the last sent was 2.
+	r.HandlePacket(sim.Second, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeKeepalive, Seq: 2,
+	}})
+	nak := findType(r.Outgoing(), packet.TypeNak)
+	if nak == nil {
+		t.Fatal("keepalive did not expose tail loss")
+	}
+	if nak.Seq != 1 || nak.Length != 2 {
+		t.Errorf("NAK seq=%d len=%d, want 1,2", nak.Seq, nak.Length)
+	}
+	if r.Stats().KeepalivesHeard != 1 {
+		t.Error("keepalive not counted")
+	}
+}
+
+func TestProbeAnsweredWithUpdateWhenDataHeld(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.HandlePacket(0, data(1, "b"))
+	r.Outgoing()
+	r.HandlePacket(kernel.Jiffy, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeProbe, Seq: 1,
+	}})
+	up := findType(r.Outgoing(), packet.TypeUpdate)
+	if up == nil {
+		t.Fatal("probe for held data not answered with UPDATE")
+	}
+	if up.Seq != 2 {
+		t.Errorf("UPDATE carries %d, want rcv_nxt 2", up.Seq)
+	}
+	if r.Stats().ProbesReceived != 1 || r.Stats().UpdatesSent != 1 {
+		t.Error("probe/update counters wrong")
+	}
+}
+
+func TestProbeAnsweredWithNakWhenDataMissing(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	// Probe for seq 3: receiver has only 0, so 1..3 are missing.
+	r.HandlePacket(kernel.Jiffy, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeProbe, Seq: 3,
+	}})
+	out := r.Outgoing()
+	nak := findType(out, packet.TypeNak)
+	if nak == nil {
+		t.Fatalf("probe for missing data not answered with NAK; got %v", typesOf(out))
+	}
+	if nak.Seq != 1 || nak.Length != 3 {
+		t.Errorf("NAK seq=%d len=%d, want 1,3", nak.Seq, nak.Length)
+	}
+	if findType(out, packet.TypeUpdate) != nil {
+		t.Error("probe answered with both UPDATE and NAK")
+	}
+}
+
+func TestRMCModeIgnoresProbes(t *testing.T) {
+	r := newR(t, func(c *Config) { c.Mode = RMC })
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	r.HandlePacket(kernel.Jiffy, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeProbe, Seq: 5,
+	}})
+	if out := r.Outgoing(); len(out) != 0 {
+		t.Errorf("RMC receiver answered a probe: %v", typesOf(out))
+	}
+	if r.Stats().ProbesReceived != 0 {
+		t.Error("RMC receiver counted a probe")
+	}
+}
+
+func TestPeriodicUpdates(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	wake, ok := r.NextWake()
+	if !ok {
+		t.Fatal("update timer not armed")
+	}
+	if wake != 50*kernel.Jiffy {
+		t.Errorf("first update at %v, want 50 jiffies", wake)
+	}
+	r.Advance(wake)
+	up := findType(r.Outgoing(), packet.TypeUpdate)
+	if up == nil {
+		t.Fatal("no periodic UPDATE")
+	}
+	if up.Seq != 1 {
+		t.Errorf("UPDATE seq = %d, want 1", up.Seq)
+	}
+}
+
+func TestUpdateSkippedWhenOtherFeedbackSent(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	// A NAK in this period counts as reverse traffic.
+	r.HandlePacket(kernel.Jiffy, data(2, "c"))
+	r.Outgoing()
+	r.Advance(50 * kernel.Jiffy)
+	if findType(r.Outgoing(), packet.TypeUpdate) != nil {
+		t.Error("UPDATE sent despite NAK reverse traffic in the period")
+	}
+	if r.Stats().UpdatesSkipped != 1 {
+		t.Errorf("UpdatesSkipped = %d", r.Stats().UpdatesSkipped)
+	}
+}
+
+func TestDynamicUpdatePeriod(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.HandlePacket(0, data(1, "b"))
+	// Complete the JOIN handshake so the join-retry timer does not
+	// interleave with the update timer below.
+	r.HandlePacket(0, &packet.Packet{Header: packet.Header{Type: packet.TypeJoinResponse}})
+	r.Outgoing()
+	p0 := r.UpdatePeriod()
+	// No probes in the period: period grows by one jiffy.
+	r.Advance(p0)
+	if got := r.UpdatePeriod(); got != p0+kernel.Jiffy {
+		t.Errorf("period after quiet interval = %v, want %v", got, p0+kernel.Jiffy)
+	}
+	// A probe arrives: period shrinks by one jiffy at the next firing.
+	r.HandlePacket(p0+kernel.Jiffy, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeProbe, Seq: 0,
+	}})
+	wake, _ := r.NextWake()
+	r.Advance(wake)
+	if got := r.UpdatePeriod(); got != p0 {
+		t.Errorf("period after probe = %v, want %v", got, p0)
+	}
+	r.Outgoing()
+}
+
+func TestUpdatePeriodBounds(t *testing.T) {
+	r := newR(t, func(c *Config) {
+		c.InitialUpdatePeriod = 2 * kernel.Jiffy
+		c.MinUpdatePeriod = 2 * kernel.Jiffy
+		c.MaxUpdatePeriod = 4 * kernel.Jiffy
+	})
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	now := sim.Time(0)
+	// Quiet periods push the period to the max and no further.
+	for i := 0; i < 10; i++ {
+		wake, ok := r.NextWake()
+		if !ok {
+			t.Fatal("update timer dead")
+		}
+		now = wake
+		r.Advance(now)
+		r.Outgoing()
+	}
+	if got := r.UpdatePeriod(); got != 4*kernel.Jiffy {
+		t.Errorf("period = %v, want the 4-jiffy max", got)
+	}
+	// Probes every period push it back to the min and no further.
+	for i := 0; i < 10; i++ {
+		r.HandlePacket(now, &packet.Packet{Header: packet.Header{Type: packet.TypeProbe, Seq: 0}})
+		wake, _ := r.NextWake()
+		now = wake
+		r.Advance(now)
+		r.Outgoing()
+	}
+	if got := r.UpdatePeriod(); got != 2*kernel.Jiffy {
+		t.Errorf("period = %v, want the 2-jiffy min", got)
+	}
+}
+
+func TestRMCModeSendsNoUpdates(t *testing.T) {
+	r := newR(t, func(c *Config) { c.Mode = RMC })
+	r.HandlePacket(0, data(0, "a"))
+	// Only the JOIN retry timer may be armed; once the handshake
+	// completes, an RMC receiver has no periodic timers at all.
+	r.HandlePacket(0, &packet.Packet{Header: packet.Header{Type: packet.TypeJoinResponse}})
+	r.Outgoing()
+	if _, ok := r.NextWake(); ok {
+		t.Error("RMC receiver armed the update timer")
+	}
+}
+
+func TestWarningRateRequest(t *testing.T) {
+	r := newR(t, nil) // 32-packet window; warning at 16
+	now := sim.Time(0)
+	// Fill to 50% without reading; advertised rate is high so the
+	// WARNBUF rule predicts overflow.
+	for i := 0; i < 16; i++ {
+		now += sim.Millisecond
+		p := data(seqspace.Seq(i), "x")
+		p.RateAdv = 10_000_000 // 10 MB/s: fills the window within 4 RTTs
+		r.HandlePacket(now, p)
+	}
+	ctrl := findType(r.Outgoing(), packet.TypeControl)
+	if ctrl == nil {
+		t.Fatal("no CONTROL in warning region under overflow prediction")
+	}
+	if ctrl.URG() {
+		t.Error("warning request has URG set")
+	}
+	if ctrl.RateAdv != 5_000_000 {
+		t.Errorf("suggested rate = %d, want half of advertised", ctrl.RateAdv)
+	}
+	if r.Stats().RateRequests == 0 {
+		t.Error("rate request not counted")
+	}
+}
+
+func TestNoWarningWhenRateIsSlow(t *testing.T) {
+	r := newR(t, nil)
+	now := sim.Time(0)
+	for i := 0; i < 16; i++ {
+		now += sim.Millisecond
+		p := data(seqspace.Seq(i), "x")
+		p.RateAdv = 100 // 100 B/s cannot overflow the window in 4 RTTs
+		r.HandlePacket(now, p)
+	}
+	if findType(r.Outgoing(), packet.TypeControl) != nil {
+		t.Error("warning CONTROL sent although the advertised rate is harmless")
+	}
+}
+
+func TestCriticalUrgentRequest(t *testing.T) {
+	r := newR(t, nil) // critical at 28 of 32
+	now := sim.Time(0)
+	for i := 0; i < 29; i++ {
+		now += sim.Millisecond
+		p := data(seqspace.Seq(i), "x")
+		p.RateAdv = 100 // even a slow rate must not avoid the urgent stop
+		r.HandlePacket(now, p)
+	}
+	out := r.Outgoing()
+	var urgent *packet.Packet
+	for _, p := range out {
+		if p.Type == packet.TypeControl && p.URG() {
+			urgent = p
+		}
+	}
+	if urgent == nil {
+		t.Fatalf("no urgent CONTROL in critical region; got %v", typesOf(out))
+	}
+	if r.Stats().UrgentRequests == 0 {
+		t.Error("urgent request not counted")
+	}
+}
+
+func TestUrgentThrottled(t *testing.T) {
+	r := newR(t, func(c *Config) { c.AssumedRTT = 100 * sim.Millisecond })
+	now := sim.Time(0)
+	for i := 0; i < 32; i++ {
+		now += sim.Millisecond
+		p := data(seqspace.Seq(i), "x")
+		r.HandlePacket(now, p)
+	}
+	urgents := r.Stats().UrgentRequests
+	if urgents == 0 {
+		t.Fatal("no urgent requests at all")
+	}
+	// All arrivals landed within 2*RTT (32ms < 200ms): exactly one urgent.
+	if urgents != 1 {
+		t.Errorf("urgent requests = %d, want 1 within two RTTs", urgents)
+	}
+}
+
+func TestReadDeliversStreamAndEOF(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "hello "))
+	r.HandlePacket(0, data(1, "world"))
+	fin := data(2, "")
+	fin.Flags = packet.FlagFIN
+	r.HandlePacket(0, fin)
+	r.Outgoing()
+
+	buf := make([]byte, 64)
+	n, err := r.Read(kernel.Jiffy, buf)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello world" {
+		t.Errorf("stream = %q", buf[:n])
+	}
+	if !r.FinDelivered() {
+		t.Error("FIN not recorded as delivered")
+	}
+	if _, err := r.Read(kernel.Jiffy, buf); err != io.EOF {
+		t.Errorf("read after FIN: err = %v, want EOF", err)
+	}
+	// End of stream queues a final UPDATE and a LEAVE.
+	out := r.Outgoing()
+	if findType(out, packet.TypeLeave) == nil {
+		t.Errorf("no LEAVE at end of stream; got %v", typesOf(out))
+	}
+	if findType(out, packet.TypeUpdate) == nil {
+		t.Errorf("no final UPDATE at end of stream; got %v", typesOf(out))
+	}
+	r.HandlePacket(kernel.Jiffy, &packet.Packet{Header: packet.Header{Type: packet.TypeLeaveResponse}})
+	if !r.Done() {
+		t.Error("receiver not Done after LEAVE_RESPONSE")
+	}
+}
+
+func TestDuplicateAndOutOfWindowCounters(t *testing.T) {
+	r := newR(t, nil)
+	r.HandlePacket(0, data(0, "a"))
+	r.HandlePacket(0, data(0, "a"))
+	if r.Stats().Duplicates != 1 {
+		t.Errorf("Duplicates = %d", r.Stats().Duplicates)
+	}
+	r.HandlePacket(0, data(100, "z"))
+	if r.Stats().OutOfWindow != 1 {
+		t.Errorf("OutOfWindow = %d", r.Stats().OutOfWindow)
+	}
+}
+
+func TestSenderBoundTypesRejected(t *testing.T) {
+	r := newR(t, nil)
+	for _, ty := range []packet.Type{packet.TypeNak, packet.TypeJoin, packet.TypeLeave, packet.TypeControl, packet.TypeUpdate} {
+		if err := r.HandlePacket(0, &packet.Packet{Header: packet.Header{Type: ty}}); err != ErrNotData {
+			t.Errorf("%v: err = %v, want ErrNotData", ty, err)
+		}
+	}
+}
+
+func TestWindowSizeFromRcvBuf(t *testing.T) {
+	r := New(Config{RcvBuf: 64 << 10, MSS: 1400})
+	want := uint32((64 << 10) / (1400 + packet.HeaderSize))
+	if r.WindowSize() != want {
+		t.Errorf("window size = %d, want %d", r.WindowSize(), want)
+	}
+	tiny := New(Config{RcvBuf: 10, MSS: 1400})
+	if tiny.WindowSize() != 1 {
+		t.Error("tiny buffer must still hold one packet")
+	}
+}
+
+func TestProbeForDataBeyondWindowClamped(t *testing.T) {
+	r := New(Config{RcvBuf: 4 * (1400 + packet.HeaderSize), MSS: 1400})
+	r.HandlePacket(0, data(0, "a"))
+	r.Outgoing()
+	// Probe far beyond the 4-packet window: the gap must clamp to the
+	// window so the receiver does not NAK data it cannot buffer.
+	r.HandlePacket(kernel.Jiffy, &packet.Packet{Header: packet.Header{
+		Type: packet.TypeProbe, Seq: 100,
+	}})
+	nak := findType(r.Outgoing(), packet.TypeNak)
+	if nak == nil {
+		t.Fatal("no NAK for probed missing data")
+	}
+	if nak.Length > 3 {
+		t.Errorf("NAK for %d packets exceeds window space 3", nak.Length)
+	}
+	_ = window.Gap{}
+}

@@ -1,0 +1,61 @@
+package sender
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/packet"
+	"repro/internal/rate"
+	"repro/internal/sim"
+)
+
+// BenchmarkSteadyStateTick measures the transmit tick with a supplied
+// window and active members — the per-jiffy cost of the kernel's
+// transmit_timer.
+func BenchmarkSteadyStateTick(b *testing.B) {
+	s := New(Config{
+		SndBuf: 1 << 20, MinBufRTTs: 1, InitialRTT: sim.Millisecond,
+		Rate: rate.Config{MinRate: 100e6, MaxRate: 100e6, MSS: 1400},
+	})
+	for i := 0; i < 10; i++ {
+		s.HandlePacket(0, packet.NodeID(i+1), &packet.Packet{Header: packet.Header{
+			Type: packet.TypeJoin, Seq: 0,
+		}})
+	}
+	payload := make([]byte, 64<<10)
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += kernel.Jiffy
+		s.Write(now, payload)
+		// Everyone confirms everything so releases flow.
+		for m := 1; m <= 10; m++ {
+			s.HandlePacket(now, packet.NodeID(m), &packet.Packet{Header: packet.Header{
+				Type: packet.TypeUpdate, Seq: uint32(s.wnd.Next()),
+			}})
+		}
+		s.Tick(now)
+		s.Outgoing()
+	}
+}
+
+// BenchmarkFeedbackProcessing measures hrmc_master_rcv on the send path:
+// an UPDATE arriving from one of 100 members.
+func BenchmarkFeedbackProcessing(b *testing.B) {
+	s := New(Config{SndBuf: 1 << 20})
+	for i := 0; i < 100; i++ {
+		s.HandlePacket(0, packet.NodeID(i+1), &packet.Packet{Header: packet.Header{
+			Type: packet.TypeJoin,
+		}})
+	}
+	s.Outgoing()
+	up := &packet.Packet{Header: packet.Header{Type: packet.TypeUpdate, Seq: 5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		up.Seq++
+		s.HandlePacket(sim.Time(i), packet.NodeID(i%100+1), up)
+	}
+	s.Outgoing()
+}

@@ -1,0 +1,816 @@
+// Package sender implements the H-RMC sender of Figure 8 as a sans-I/O
+// state machine: the Application Interface (fragmentation into the send
+// window), the per-jiffy Transmitter, the Feedback Processor, the
+// Retransmitter, the Keepalive Controller, and probe_members — the
+// buffer-release safety check that distinguishes H-RMC from the pure
+// NAK-based RMC baseline.
+//
+// The machine is driven from outside: the owner writes stream data with
+// Write, feeds arriving feedback with HandlePacket, runs the transmit
+// tick with Tick, and drains queued outgoing packets with Outgoing.
+package sender
+
+import (
+	"repro/internal/fec"
+	"repro/internal/kernel"
+	"repro/internal/membership"
+	"repro/internal/packet"
+	"repro/internal/rate"
+	"repro/internal/rtt"
+	"repro/internal/seqspace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+const (
+	// HRMC guarantees reliability: the window advances only when every
+	// member is known to hold the data, probing members whose state is
+	// unknown.
+	HRMC Mode = iota
+	// RMC is the original protocol: anonymous membership, release purely
+	// on the MINBUF timer; a NAK for released data earns a NAK_ERR.
+	RMC
+)
+
+func (m Mode) String() string {
+	if m == RMC {
+		return "RMC"
+	}
+	return "H-RMC"
+}
+
+// Config parametrizes a sender.
+type Config struct {
+	LocalPort, RemotePort uint16
+	// SndBuf is the per-socket kernel send buffer in bytes; it bounds
+	// the send window.
+	SndBuf int
+	// MSS is the data payload size per packet.
+	MSS int
+	// Mode selects H-RMC or the RMC baseline.
+	Mode Mode
+	// InitialSeq is the stream's first sequence number.
+	InitialSeq seqspace.Seq
+	// MinBufRTTs is the minimum time a transmitted packet stays buffered
+	// before it becomes a release candidate, in round trips; the paper
+	// sets MINBUF = 10.
+	MinBufRTTs int
+	// Rate configures the rate-based flow-control component.
+	Rate rate.Config
+	// InitialRTT seeds the worst-receiver round-trip estimator.
+	InitialRTT sim.Time
+	// KeepaliveMax caps the exponential keepalive backoff; the paper
+	// uses 2 seconds.
+	KeepaliveMax sim.Time
+	// ExpectedReceivers, when positive, holds buffer release (not
+	// transmission) until that many receivers have joined, protecting
+	// the start of stream in deployments where the population is known.
+	ExpectedReceivers int
+
+	// EarlyProbeRTTs is the early-probe extension (Section 7, item 1):
+	// when positive, probe lagging receivers this many round trips
+	// before the release deadline instead of at it, hiding the probe
+	// round trip behind the tail of the MINBUF wait.
+	EarlyProbeRTTs float64
+	// MulticastProbeThreshold is the multicast-probe extension (Section
+	// 7, item 2): when positive and at least this many receivers need
+	// probing, send one multicast PROBE instead of unicasts.
+	MulticastProbeThreshold int
+	// LocalRecovery enables the local-recovery extension (Section 7,
+	// item 3): NAK-triggered retransmissions are deferred half a round
+	// trip so a peer's multicast repair can serve the group first, and
+	// repairs the sender observes cancel the matching retransmissions.
+	LocalRecovery bool
+	// FECGroupSize enables the forward-error-correction extension
+	// (Section 7, item 4): one best-effort XOR parity packet is
+	// multicast per this many first-transmission data packets, letting
+	// receivers rebuild single losses without a NAK round trip. Zero
+	// disables FEC.
+	FECGroupSize int
+
+	// Stats receives counters; nil allocates a private set.
+	Stats *stats.Sender
+	// Trace receives protocol events; nil disables tracing.
+	Trace trace.Sink
+}
+
+func (c *Config) sanitize() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.SndBuf <= 0 {
+		c.SndBuf = 64 << 10
+	}
+	if c.MinBufRTTs <= 0 {
+		c.MinBufRTTs = 10
+	}
+	if c.Rate.MSS == 0 {
+		c.Rate.MSS = c.MSS + packet.HeaderSize // pace in wire bytes
+	}
+	if c.Rate.MinRate == 0 && c.Rate.MaxRate == 0 {
+		def := rate.DefaultConfig()
+		def.MSS = c.MSS
+		c.Rate = def
+	}
+	if c.KeepaliveMax <= 0 {
+		c.KeepaliveMax = 2 * sim.Second
+	}
+	if c.Stats == nil {
+		c.Stats = &stats.Sender{}
+	}
+}
+
+// Dest is where an outgoing packet goes.
+type Dest struct {
+	// Multicast packets go to the whole group; otherwise Node is the
+	// receiver's unicast address.
+	Multicast bool
+	Node      packet.NodeID
+}
+
+// Out is one outgoing packet with its destination.
+type Out struct {
+	Pkt  *packet.Packet
+	Dest Dest
+}
+
+// retransReq is one queued retransmission range; notBefore defers it
+// under the local-recovery extension.
+type retransReq struct {
+	gap       window.Gap
+	notBefore sim.Time
+}
+
+// Sender is the H-RMC sender state machine. Not safe for concurrent use;
+// drivers serialize access.
+type Sender struct {
+	cfg     Config
+	wnd     *window.SendWindow
+	members membership.Table
+	rc      *rate.Controller
+	est     *rtt.Estimator
+	st      *stats.Sender
+
+	out []Out
+
+	// Retransmission request ranges, coalesced by the Retransmitter.
+	retrans []retransReq
+
+	// Keepalive Controller state.
+	lastSendActivity sim.Time
+	kaTimer          kernel.Timer
+	kaBackoff        sim.Time
+
+	closed     bool // Close called; a FIN packet is (or will be) queued
+	finQueued  bool
+	pendingFIN bool // FIN packet could not be inserted yet (window full)
+
+	// judged is the next sequence number whose release decision has not
+	// yet been scored for the Figure 3 metric: each packet is judged
+	// exactly once, at the moment its MINBUF deadline first passes,
+	// independent of whether H-RMC then stalls the release.
+	judged    seqspace.Seq
+	stalled   bool // window release is currently blocked on receiver info
+	primed    bool // first transmit tick has granted its jiffy budget
+	maxJoined int
+	// cutEpoch is snd_nxt at the last NAK-driven rate cut: NAKs for
+	// data sent before the cut describe the same loss event and do not
+	// cut again (the rate-based analogue of TCP's one-cut-per-window).
+	cutEpoch    seqspace.Seq
+	cutEpochSet bool
+
+	// fenc is the FEC parity encoder (extension), nil when disabled.
+	fenc *fec.Encoder
+}
+
+// New creates a sender.
+func New(cfg Config) *Sender {
+	cfg.sanitize()
+	s := &Sender{
+		cfg:    cfg,
+		wnd:    window.NewSendWindow(cfg.SndBuf, cfg.InitialSeq),
+		rc:     rate.New(cfg.Rate),
+		est:    rtt.New(cfg.InitialRTT),
+		st:     cfg.Stats,
+		judged: cfg.InitialSeq,
+	}
+	if cfg.FECGroupSize > 0 {
+		s.fenc = fec.NewEncoder(cfg.FECGroupSize)
+	}
+	return s
+}
+
+// Stats returns the sender's counters.
+func (s *Sender) Stats() *stats.Sender { return s.st }
+
+// pacingRTT is the round-trip time used for timer-granular decisions
+// (growth pacing, cut pacing, hold times). A 10 ms-jiffy kernel cannot
+// act on sub-tick round trips, so the estimate is floored at two
+// jiffies.
+func (s *Sender) pacingRTT() sim.Time {
+	rtt := s.est.RTT()
+	if rtt < 2*kernel.Jiffy {
+		rtt = 2 * kernel.Jiffy
+	}
+	return rtt
+}
+
+// RTT returns the current worst-receiver round-trip estimate.
+func (s *Sender) RTT() sim.Time { return s.est.RTT() }
+
+// Rate returns the current transmission rate in bytes/second.
+func (s *Sender) Rate(now sim.Time) float64 { return s.rc.Rate(now) }
+
+// Members returns the current receiver count.
+func (s *Sender) Members() int { return s.members.Len() }
+
+// WindowBytes returns the bytes currently buffered in the send window.
+func (s *Sender) WindowBytes() int { return s.wnd.Bytes() }
+
+// Outgoing drains the queued outgoing packets in order.
+func (s *Sender) Outgoing() []Out {
+	out := s.out
+	s.out = nil
+	return out
+}
+
+// HasOutgoing reports whether packets are queued.
+func (s *Sender) HasOutgoing() bool { return len(s.out) > 0 }
+
+func (s *Sender) emit(p *packet.Packet, d Dest) {
+	p.SrcPort = s.cfg.LocalPort
+	p.DstPort = s.cfg.RemotePort
+	p.RateAdv = s.rc.Advertised()
+	s.out = append(s.out, Out{Pkt: p, Dest: d})
+}
+
+// Write fragments b into DATA packets and inserts them into the send
+// window (hrmc_sendmsg). It returns the number of bytes consumed, which
+// is less than len(b) when the window byte budget fills; the caller
+// retries after the window advances. Write after Close panics: that is a
+// caller bug.
+func (s *Sender) Write(now sim.Time, b []byte) int {
+	if s.closed {
+		panic("sender: Write after Close")
+	}
+	n := 0
+	for n < len(b) {
+		chunk := len(b) - n
+		if chunk > s.cfg.MSS {
+			chunk = s.cfg.MSS
+		}
+		payload := make([]byte, chunk)
+		copy(payload, b[n:n+chunk])
+		p := &packet.Packet{
+			Header:  packet.Header{Type: packet.TypeData, Length: uint32(chunk)},
+			Payload: payload,
+		}
+		if _, err := s.wnd.Insert(p); err != nil {
+			break
+		}
+		n += chunk
+	}
+	return n
+}
+
+// Close marks the end of the stream: a zero-length FIN DATA packet is
+// appended after all written data. Reliable delivery of the FIN is
+// governed by the same window machinery as data.
+func (s *Sender) Close(now sim.Time) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.pendingFIN = true
+	s.tryQueueFIN()
+}
+
+func (s *Sender) tryQueueFIN() {
+	if !s.pendingFIN {
+		return
+	}
+	p := &packet.Packet{
+		Header: packet.Header{Type: packet.TypeData, Flags: packet.FlagFIN},
+	}
+	if _, err := s.wnd.Insert(p); err == nil {
+		s.pendingFIN = false
+		s.finQueued = true
+	}
+}
+
+// Done reports whether the stream is fully transmitted and released: the
+// FIN was queued and every packet has left the send window. Under H-RMC
+// this implies every member held all data at release time.
+func (s *Sender) Done() bool {
+	return s.closed && s.finQueued && !s.pendingFIN && s.wnd.Len() == 0
+}
+
+// HandlePacket processes receiver feedback (hrmc_master_rcv on the send
+// path). from is the receiver's unicast address.
+func (s *Sender) HandlePacket(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeData:
+		// A peer's multicast repair (local-recovery extension): the data
+		// is being served by the group, so drop any matching deferred
+		// retransmission.
+		if s.cfg.LocalRecovery {
+			s.onRepairHeard(now, p)
+		}
+	case packet.TypeJoin:
+		s.onJoin(now, from, p)
+	case packet.TypeLeave:
+		s.onLeave(now, from, p)
+	case packet.TypeNak:
+		s.onNak(now, from, p)
+	case packet.TypeControl:
+		s.onControl(now, from, p)
+	case packet.TypeUpdate:
+		s.onUpdate(now, from, p)
+	}
+}
+
+func (s *Sender) onJoin(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.st.JoinsReceived++
+	_, added := s.members.Add(from, now)
+	s.members.Update(from, seqspace.Seq(p.Seq), now)
+	if added {
+		trace.Emit(s.cfg.Trace, now, trace.MemberJoined, p.Seq, int64(s.members.Len()))
+	}
+	if added && s.members.Len() > s.maxJoined {
+		s.maxJoined = s.members.Len()
+	}
+	// The JOIN answers the first data packet the receiver saw; if that
+	// packet (seq one below the receiver's next-expected) is still
+	// buffered and was sent exactly once, its send time gives an
+	// unambiguous round-trip sample (Karn), used to estimate the round
+	// trip to the most distant receiver.
+	if added {
+		if e := s.wnd.Entry(seqspace.Seq(p.Seq) - 1); e != nil && e.Tries == 1 {
+			s.est.Sample(now - e.LastSent)
+		}
+	}
+	s.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeJoinResponse,
+		Seq:  p.Seq,
+	}}, Dest{Node: from})
+}
+
+func (s *Sender) onLeave(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.st.LeavesReceived++
+	s.members.Update(from, seqspace.Seq(p.Seq), now)
+	s.members.Remove(from)
+	trace.Emit(s.cfg.Trace, now, trace.MemberLeft, p.Seq, int64(s.members.Len()))
+	s.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeLeaveResponse,
+		Seq:  p.Seq,
+	}}, Dest{Node: from})
+}
+
+func (s *Sender) onNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.st.NaksReceived++
+	// NAKs carry the receiver's next expected sequence number in the
+	// rate-advertisement field (see the receiver package).
+	s.sampleProbeRTT(now, from)
+	s.members.Update(from, seqspace.Seq(p.RateAdv), now)
+	gap := window.Gap{From: seqspace.Seq(p.Seq), To: seqspace.Seq(p.Seq) + seqspace.Seq(p.Length)}
+	if p.Length == 0 {
+		gap.To = gap.From + 1
+	}
+	// Per the paper, the worst-receiver RTT estimate "continues
+	// updating ... based on incoming NAKs and rate-reduce requests":
+	// the NAKed packet's first (sole) transmission to NAK arrival is a
+	// Karn-unambiguous upper bound on the receiver's round trip.
+	if e := s.wnd.Entry(gap.From); e != nil && e.Tries == 1 {
+		s.est.Sample(now - e.FirstSent)
+	}
+	// Clamp the request to the buffered range; anything below the window
+	// base has been released.
+	if seqspace.Before(gap.From, s.wnd.Base()) {
+		if seqspace.AtOrBefore(gap.To, s.wnd.Base()) {
+			// Entirely released: the request cannot be satisfied.
+			s.st.NakErrsSent++
+			trace.Emit(s.cfg.Trace, now, trace.NakErrSent, p.Seq, 0)
+			s.emit(&packet.Packet{Header: packet.Header{
+				Type: packet.TypeNakErr,
+				Seq:  p.Seq,
+			}}, Dest{Node: from})
+			return
+		}
+		gap.From = s.wnd.Base()
+	}
+	if seqspace.After(gap.To, s.wnd.Next()) {
+		gap.To = s.wnd.Next()
+	}
+	if gap.Count() > 0 {
+		req := retransReq{gap: gap}
+		if s.cfg.LocalRecovery {
+			// Give peer repairs half a round trip's head start.
+			req.notBefore = now + s.pacingRTT()/2
+		}
+		s.retrans = append(s.retrans, req)
+	}
+	// A NAK signals loss: cut the rate once per loss epoch — NAKs for
+	// data transmitted before the previous cut report the same event.
+	if !s.cutEpochSet || seqspace.AtOrAfter(seqspace.Seq(p.Seq), s.cutEpoch) {
+		s.cutEpoch = s.wnd.Next()
+		s.cutEpochSet = true
+		s.rc.OnCongestion(now, s.pacingRTT(), 0)
+		trace.Emit(s.cfg.Trace, now, trace.RateCut, p.Seq, int64(s.rc.Rate(now)))
+	}
+}
+
+func (s *Sender) onControl(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.sampleProbeRTT(now, from)
+	// Rate requests also feed the worst-receiver RTT estimate: the
+	// receiver's next-expected field names the most recent in-order
+	// packet it holds (Seq-1); its single transmission bounds the loop.
+	if e := s.wnd.Entry(seqspace.Seq(p.Seq) - 1); e != nil && e.Tries == 1 {
+		s.est.Sample(now - e.FirstSent)
+	}
+	s.members.Update(from, seqspace.Seq(p.Seq), now)
+	if p.URG() {
+		s.st.UrgentReceived++
+		s.rc.OnUrgent(now, s.pacingRTT())
+		trace.Emit(s.cfg.Trace, now, trace.RateStopped, p.Seq, 0)
+	} else {
+		s.st.RateRequestsReceived++
+		s.rc.OnCongestion(now, s.pacingRTT(), float64(p.RateAdv))
+		trace.Emit(s.cfg.Trace, now, trace.RateCut, p.Seq, int64(s.rc.Rate(now)))
+	}
+}
+
+func (s *Sender) onUpdate(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.st.UpdatesReceived++
+	s.sampleProbeRTT(now, from)
+	s.members.Update(from, seqspace.Seq(p.Seq), now)
+}
+
+// onRepairHeard cancels deferred retransmissions covered by a repair a
+// peer multicast (the sender, like any group member, hears repairs).
+func (s *Sender) onRepairHeard(now sim.Time, p *packet.Packet) {
+	s.st.RepairsHeard++
+	seq := seqspace.Seq(p.Seq)
+	kept := s.retrans[:0]
+	for _, req := range s.retrans {
+		g := req.gap
+		if !seqspace.InWindow(seq, g.From, g.Count()) {
+			kept = append(kept, req)
+			continue
+		}
+		s.st.RetransCancelled++
+		// Split the range around the repaired sequence number.
+		if seqspace.Before(g.From, seq) {
+			kept = append(kept, retransReq{gap: window.Gap{From: g.From, To: seq}, notBefore: req.notBefore})
+		}
+		if seqspace.Before(seq+1, g.To) {
+			kept = append(kept, retransReq{gap: window.Gap{From: seq + 1, To: g.To}, notBefore: req.notBefore})
+		}
+	}
+	s.retrans = kept
+}
+
+// sampleProbeRTT takes a Karn-safe round-trip sample when feedback
+// answers an outstanding single-transmission probe.
+func (s *Sender) sampleProbeRTT(now sim.Time, from packet.NodeID) {
+	m := s.members.Lookup(from)
+	if m == nil || !m.ProbeOutstanding || m.ProbeTries != 1 {
+		return
+	}
+	// Any feedback from the probed receiver answers the probe for RTT
+	// purposes; membership.Update clears the outstanding flag only when
+	// the response actually covers the probed data.
+	s.est.Sample(now - m.LastProbed)
+	m.ProbeTries = 2 // consume the sample; further feedback is ambiguous
+}
+
+// Tick is the Transmitter (transmit_timer): it runs every jiffy. It
+// retransmits requested data first, transmits new data within the rate
+// allowance, attempts window release (probing under H-RMC), and drives
+// the Keepalive Controller.
+func (s *Sender) Tick(now sim.Time) {
+	s.tryQueueFIN()
+	if !s.primed {
+		// The transmit timer's first tick grants the budget of one full
+		// jiffy, as if the timer had been running.
+		s.primed = true
+		s.rc.Allowance(now - kernel.Jiffy)
+	}
+	allowance := s.rc.Allowance(now)
+	sentAny := false
+
+	// Retransmitter: requested data has priority over new data.
+	allowance, resent := s.retransmit(now, allowance)
+	sentAny = sentAny || resent
+
+	// New data within the rate window. Tokens accumulate across ticks
+	// (up to the burst cap, which always admits one full packet), so
+	// rates below one packet per jiffy still pace correctly.
+	for {
+		seq, e := s.wnd.FirstUnsent()
+		if e == nil {
+			break
+		}
+		size := e.Pkt.WireSize()
+		if size > allowance {
+			break
+		}
+		s.transmit(now, seq, e, false)
+		allowance -= size
+		s.rc.Spend(size)
+		sentAny = true
+	}
+
+	// Window release (buffer space reclamation).
+	s.tryRelease(now)
+
+	// Rate growth happens only while there is demand.
+	if sentAny {
+		s.rc.MaybeGrow(now, s.pacingRTT())
+		s.lastSendActivity = now
+		s.kaBackoff = 0
+		s.kaTimer.Disarm()
+	} else if s.needsKeepalive(now) {
+		s.runKeepalive(now)
+	}
+}
+
+// retransmit services the retransmission request list, multicasting the
+// requested packets. Requests for a packet retransmitted within half a
+// round trip are dropped: the retransmission is already in flight and
+// several receivers NAKed the same loss.
+func (s *Sender) retransmit(now sim.Time, allowance int) (int, bool) {
+	if len(s.retrans) == 0 {
+		return allowance, false
+	}
+	guard := s.pacingRTT() / 2
+	sent := false
+	pending := s.retrans
+	s.retrans = nil
+	for _, req := range pending {
+		if req.notBefore > now {
+			s.retrans = append(s.retrans, req)
+			continue
+		}
+		g := req.gap
+		for seq := g.From; seqspace.Before(seq, g.To); seq++ {
+			e := s.wnd.Entry(seq)
+			if e == nil || !e.Sent() {
+				continue
+			}
+			if now-e.LastSent < guard {
+				continue
+			}
+			if allowance <= 0 {
+				// Out of rate budget: requeue the tail for the next tick.
+				s.retrans = append(s.retrans, retransReq{gap: window.Gap{From: seq, To: g.To}})
+				break
+			}
+			s.transmit(now, seq, e, true)
+			allowance -= e.Pkt.WireSize()
+			s.rc.Spend(e.Pkt.WireSize())
+			sent = true
+		}
+	}
+	return allowance, sent
+}
+
+// transmit multicasts one window entry.
+func (s *Sender) transmit(now sim.Time, seq seqspace.Seq, e *window.SendEntry, isRetrans bool) {
+	e.Tries++
+	if e.Tries == 1 {
+		e.FirstSent = now
+	}
+	e.LastSent = now
+	pkt := e.Pkt.Clone()
+	pkt.Seq = uint32(seq)
+	pkt.Tries = uint8(min(e.Tries-1, 255))
+	if isRetrans {
+		s.st.Retransmissions++
+		s.st.RetransBytes += int64(len(pkt.Payload))
+		trace.Emit(s.cfg.Trace, now, trace.SendRetransmission, pkt.Seq, int64(len(pkt.Payload)))
+	} else {
+		s.st.PacketsSent++
+		s.st.BytesSent += int64(len(pkt.Payload))
+		trace.Emit(s.cfg.Trace, now, trace.SendData, pkt.Seq, int64(len(pkt.Payload)))
+	}
+	s.emit(pkt, Dest{Multicast: true})
+	if !isRetrans && s.fenc != nil {
+		// FEC extension: parity covers first transmissions only and is
+		// itself best-effort (never retransmitted, not counted against
+		// the rate allowance — a bounded 1/K overhead).
+		if parity := s.fenc.Add(seq, e.Pkt.Payload); parity != nil {
+			s.st.FecParitySent++
+			trace.Emit(s.cfg.Trace, now, trace.FecParitySent, parity.Seq, int64(parity.Length))
+			s.emit(parity, Dest{Multicast: true})
+		}
+	}
+}
+
+// tryRelease advances the send window: a packet becomes a release
+// candidate MINBUF round trips after its last transmission; under H-RMC
+// it is released only when every member is known to hold it, otherwise
+// the lacking members are probed and the window stalls.
+func (s *Sender) tryRelease(now sim.Time) {
+	s.stalled = false
+	// Like the kernel, buffer space is reclaimed lazily: only when the
+	// window lacks room for another packet, or when the stream is
+	// closed and draining. With large kernel buffers packets therefore
+	// sit well past their MINBUF deadline before release, which is why
+	// buffer size improves the Figure 3 metric.
+	if !s.closed && s.wnd.Free() >= s.cfg.MSS+packet.HeaderSize {
+		return
+	}
+	minHold := sim.Time(s.cfg.MinBufRTTs) * s.pacingRTT()
+	for {
+		e := s.wnd.Front()
+		if e == nil || !e.Sent() {
+			return
+		}
+		if now-e.LastSent < minHold {
+			if s.cfg.Mode == HRMC && s.cfg.EarlyProbeRTTs > 0 {
+				s.maybeEarlyProbe(now, minHold)
+			}
+			return
+		}
+		seq := s.wnd.Base()
+		complete := s.members.AllPast(seq)
+		// Figure 3 metric: judge each packet once, at the moment its
+		// MINBUF deadline first passes, regardless of mode and of
+		// whether the release then proceeds.
+		if seq == s.judged {
+			s.st.Releases++
+			if complete {
+				s.st.ReleasesCompleteInfo++
+			}
+			s.judged++
+		}
+		if s.cfg.Mode == HRMC {
+			if s.cfg.ExpectedReceivers > 0 && s.maxJoined < s.cfg.ExpectedReceivers {
+				s.st.ReleaseStalls++
+				s.stalled = true
+				return
+			}
+			if !complete {
+				s.st.ReleaseStalls++
+				s.stalled = true
+				trace.Emit(s.cfg.Trace, now, trace.ReleaseStall, uint32(seq), 0)
+				s.probeLacking(now, seq)
+				return
+			}
+		}
+		// RMC releases on the timer alone; a NAK for the data later
+		// earns a NAK_ERR.
+		e = s.wnd.Release()
+		trace.Emit(s.cfg.Trace, now, trace.Release, uint32(seq), int64(e.Pkt.WireSize()))
+	}
+}
+
+// maybeEarlyProbe (extension) probes for the front packet before its
+// release deadline so the answer arrives by the time the deadline hits.
+func (s *Sender) maybeEarlyProbe(now sim.Time, minHold sim.Time) {
+	e := s.wnd.Front()
+	if e == nil || !e.Sent() {
+		return
+	}
+	lead := sim.Time(s.cfg.EarlyProbeRTTs * float64(s.pacingRTT()))
+	if now-e.LastSent < minHold-lead {
+		return
+	}
+	seq := s.wnd.Base()
+	if !s.members.AllPast(seq) {
+		s.probeLacking(now, seq)
+	}
+}
+
+// probeLacking unicasts PROBE packets to every member whose state does
+// not cover seq, rate-limited per member by the probe timeout. With the
+// multicast-probe extension enabled and enough lagging members, a single
+// multicast PROBE is sent instead.
+func (s *Sender) probeLacking(now sim.Time, seq seqspace.Seq) {
+	lacking := s.members.Lacking(seq, nil)
+	if len(lacking) == 0 {
+		return
+	}
+	due := lacking[:0]
+	for _, m := range lacking {
+		if m.ProbeOutstanding && seqspace.AtOrBefore(seq, m.ProbeSeq) {
+			// An equivalent probe is in flight: wait at least an RTO
+			// (floored at two jiffies of timer granularity), backed off
+			// exponentially with the per-member retry count.
+			spacing := s.est.RTO()
+			if spacing < 2*kernel.Jiffy {
+				spacing = 2 * kernel.Jiffy
+			}
+			shift := m.ProbeTries - 1
+			if shift > 6 {
+				shift = 6
+			}
+			if shift > 0 {
+				spacing <<= uint(shift)
+			}
+			if now-m.LastProbed < spacing {
+				continue
+			}
+		}
+		due = append(due, m)
+	}
+	if len(due) == 0 {
+		return
+	}
+	if s.cfg.MulticastProbeThreshold > 0 && len(due) >= s.cfg.MulticastProbeThreshold {
+		for _, m := range due {
+			s.markProbed(m, seq, now)
+		}
+		s.st.MulticastProbesSent++
+		trace.Emit(s.cfg.Trace, now, trace.ProbeSent, uint32(seq), int64(len(due)))
+		s.emit(&packet.Packet{Header: packet.Header{
+			Type: packet.TypeProbe,
+			Seq:  uint32(seq),
+		}}, Dest{Multicast: true})
+		return
+	}
+	for _, m := range due {
+		s.markProbed(m, seq, now)
+		s.st.ProbesSent++
+		trace.Emit(s.cfg.Trace, now, trace.ProbeSent, uint32(seq), 1)
+		s.emit(&packet.Packet{Header: packet.Header{
+			Type: packet.TypeProbe,
+			Seq:  uint32(seq),
+		}}, Dest{Node: m.Addr})
+	}
+}
+
+func (s *Sender) markProbed(m *membership.Member, seq seqspace.Seq, now sim.Time) {
+	if m.ProbeOutstanding && m.ProbeSeq == seq {
+		m.ProbeTries++ // Karn: a re-probe makes the sample ambiguous
+	} else {
+		m.ProbeOutstanding = true
+		m.ProbeSeq = seq
+		m.ProbeTries = 1
+	}
+	m.LastProbed = now
+}
+
+// needsKeepalive reports whether the Keepalive Controller should run.
+// Per the paper it covers application idle time, the period after an
+// urgent rate request, and ticks when the window cannot be advanced for
+// lack of receiver information. Mere rate pacing (tokens accruing toward
+// the next data packet) is not idleness and must not trigger keepalives.
+func (s *Sender) needsKeepalive(now sim.Time) bool {
+	if s.st.PacketsSent == 0 || s.Done() {
+		return false
+	}
+	if s.stalled {
+		return true
+	}
+	if _, stopped := s.rc.StoppedUntil(); stopped {
+		return true
+	}
+	if _, e := s.wnd.FirstUnsent(); e == nil {
+		// No new data to send: the application is idle (or everything
+		// is in flight awaiting release).
+		return true
+	}
+	return false
+}
+
+// runKeepalive sends KEEPALIVE packets carrying the last sequence number
+// transmitted, exponentially backed off to KeepaliveMax (2 s in the
+// paper).
+func (s *Sender) runKeepalive(now sim.Time) {
+	if s.kaTimer.Armed() && !s.kaTimer.Due(now) {
+		return
+	}
+	s.kaTimer.Fire(now)
+	last := s.wnd.Next() - 1 // last sequence number assigned
+	if seq, e := s.wnd.FirstUnsent(); e != nil {
+		// Last actually transmitted: one before the first unsent.
+		last = seq - 1
+	}
+	s.st.KeepalivesSent++
+	trace.Emit(s.cfg.Trace, now, trace.KeepaliveSent, uint32(last), 0)
+	s.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeKeepalive,
+		Seq:  uint32(last),
+	}}, Dest{Multicast: true})
+	if s.kaBackoff == 0 {
+		s.kaBackoff = 2 * kernel.Jiffy
+	} else {
+		s.kaBackoff *= 2
+		if s.kaBackoff > s.cfg.KeepaliveMax {
+			s.kaBackoff = s.cfg.KeepaliveMax
+		}
+	}
+	s.kaTimer.Arm(now + s.kaBackoff)
+}
+
+// NextWake returns the earliest time beyond the per-jiffy tick that the
+// sender needs attention; drivers that tick every jiffy can ignore it.
+func (s *Sender) NextWake() (sim.Time, bool) {
+	return s.kaTimer.Deadline()
+}

@@ -1,0 +1,75 @@
+// Package seqspace implements 32-bit wrap-around sequence number
+// arithmetic as used by the RMC/H-RMC sequence space.
+//
+// Sequence numbers identify packets, not bytes. Comparisons are defined
+// over a half-space: a is "before" b when the signed 32-bit distance from
+// a to b is positive. This matches the TCP-style serial number arithmetic
+// of RFC 1982 with SERIAL_BITS = 32 and is valid as long as live sequence
+// numbers span less than 2^31.
+package seqspace
+
+// Seq is a 32-bit wrap-around sequence number.
+type Seq uint32
+
+// Before reports whether a precedes b in the sequence space.
+func Before(a, b Seq) bool { return int32(a-b) < 0 }
+
+// After reports whether a follows b in the sequence space.
+func After(a, b Seq) bool { return int32(a-b) > 0 }
+
+// AtOrBefore reports whether a precedes or equals b.
+func AtOrBefore(a, b Seq) bool { return int32(a-b) <= 0 }
+
+// AtOrAfter reports whether a follows or equals b.
+func AtOrAfter(a, b Seq) bool { return int32(a-b) >= 0 }
+
+// Diff returns the signed distance from b to a (a - b). The result is
+// positive when a is after b.
+func Diff(a, b Seq) int32 { return int32(a - b) }
+
+// Min returns the earlier of a and b.
+func Min(a, b Seq) Seq {
+	if Before(a, b) {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Seq) Seq {
+	if After(a, b) {
+		return a
+	}
+	return b
+}
+
+// InWindow reports whether s lies in the half-open window [start,
+// start+size).
+func InWindow(s, start Seq, size uint32) bool {
+	d := int32(s - start)
+	return d >= 0 && uint32(d) < size
+}
+
+// Add advances s by n, wrapping.
+func Add(s Seq, n uint32) Seq { return s + Seq(n) }
+
+// Range iterates the half-open interval [from, to), calling fn for each
+// sequence number in order. It stops early if fn returns false. Range is a
+// no-op when to is at or before from.
+func Range(from, to Seq, fn func(Seq) bool) {
+	for s := from; Before(s, to); s++ {
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// Count returns the number of sequence numbers in the half-open interval
+// [from, to), or 0 when to is at or before from.
+func Count(from, to Seq) uint32 {
+	d := int32(to - from)
+	if d <= 0 {
+		return 0
+	}
+	return uint32(d)
+}

@@ -1,0 +1,196 @@
+package seqspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBeforeAfterBasic(t *testing.T) {
+	cases := []struct {
+		a, b   Seq
+		before bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0, 0, false},
+		{100, 200, true},
+		{0xFFFFFFFF, 0, true},     // wrap: max precedes 0
+		{0xFFFFFFF0, 0x10, true},  // wrap across zero
+		{0x10, 0xFFFFFFF0, false}, // and the reverse
+		{0, 0x7FFFFFFF, true},     // edge of half-space
+		// Antipodal pairs (distance exactly 2^31) have no defined order;
+		// the implementation deterministically reports both as Before.
+		{0, 0x80000000, true},
+		{0x80000000, 0, true},
+		{0x80000001, 0, true}, // just inside the half-space
+	}
+	for _, c := range cases {
+		if got := Before(c.a, c.b); got != c.before {
+			t.Errorf("Before(%#x, %#x) = %v, want %v", c.a, c.b, got, c.before)
+		}
+		if c.a != c.b && Diff(c.a, c.b) != -(1<<31) {
+			if got := After(c.b, c.a); got != c.before {
+				t.Errorf("After(%#x, %#x) = %v, want %v", c.b, c.a, got, c.before)
+			}
+		}
+	}
+}
+
+func TestAtOrBeforeAfter(t *testing.T) {
+	if !AtOrBefore(5, 5) || !AtOrAfter(5, 5) {
+		t.Fatal("equal sequence numbers must satisfy AtOrBefore and AtOrAfter")
+	}
+	if !AtOrBefore(4, 5) {
+		t.Fatal("AtOrBefore(4,5) = false")
+	}
+	if !AtOrAfter(6, 5) {
+		t.Fatal("AtOrAfter(6,5) = false")
+	}
+	if AtOrBefore(6, 5) {
+		t.Fatal("AtOrBefore(6,5) = true")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := Diff(10, 4); d != 6 {
+		t.Errorf("Diff(10,4) = %d, want 6", d)
+	}
+	if d := Diff(4, 10); d != -6 {
+		t.Errorf("Diff(4,10) = %d, want -6", d)
+	}
+	if d := Diff(2, 0xFFFFFFFE); d != 4 {
+		t.Errorf("Diff across wrap = %d, want 4", d)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if m := Min(0xFFFFFFFF, 2); m != 0xFFFFFFFF {
+		t.Errorf("Min across wrap = %#x, want 0xFFFFFFFF", m)
+	}
+	if m := Max(0xFFFFFFFF, 2); m != 2 {
+		t.Errorf("Max across wrap = %#x, want 2", m)
+	}
+	if m := Min(3, 3); m != 3 {
+		t.Errorf("Min(3,3) = %d", m)
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	cases := []struct {
+		s, start Seq
+		size     uint32
+		in       bool
+	}{
+		{5, 5, 1, true},
+		{5, 5, 0, false},
+		{6, 5, 1, false},
+		{4, 5, 10, false},
+		{14, 5, 10, true},
+		{15, 5, 10, false},
+		{1, 0xFFFFFFFE, 8, true}, // window straddles wrap
+		{0xFFFFFFFD, 0xFFFFFFFE, 8, false},
+	}
+	for _, c := range cases {
+		if got := InWindow(c.s, c.start, c.size); got != c.in {
+			t.Errorf("InWindow(%#x, %#x, %d) = %v, want %v", c.s, c.start, c.size, got, c.in)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	var got []Seq
+	Range(0xFFFFFFFE, 3, func(s Seq) bool {
+		got = append(got, s)
+		return true
+	})
+	want := []Seq{0xFFFFFFFE, 0xFFFFFFFF, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Range produced %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range produced %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	Range(0, 100, func(Seq) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Range early stop visited %d, want 3", n)
+	}
+	// Empty interval.
+	Range(5, 5, func(Seq) bool { t.Fatal("Range visited an empty interval"); return true })
+	Range(6, 5, func(Seq) bool { t.Fatal("Range visited an inverted interval"); return true })
+}
+
+func TestCount(t *testing.T) {
+	if c := Count(5, 5); c != 0 {
+		t.Errorf("Count(5,5) = %d, want 0", c)
+	}
+	if c := Count(6, 5); c != 0 {
+		t.Errorf("Count(6,5) = %d, want 0", c)
+	}
+	if c := Count(5, 8); c != 3 {
+		t.Errorf("Count(5,8) = %d, want 3", c)
+	}
+	if c := Count(0xFFFFFFFE, 2); c != 4 {
+		t.Errorf("Count across wrap = %d, want 4", c)
+	}
+}
+
+// Property: within a half-space, Before is a strict total order:
+// irreflexive, asymmetric, and trichotomous.
+func TestPropBeforeStrictOrder(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := Seq(a), Seq(b)
+		if Diff(sa, sb) == -(1 << 31) { // antipodal pair: order undefined
+			return true
+		}
+		if sa == sb {
+			return !Before(sa, sb) && !After(sa, sb)
+		}
+		// Exactly one of Before/After holds.
+		return Before(sa, sb) != Before(sb, sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: translation invariance — shifting both operands by the same
+// offset preserves order.
+func TestPropTranslationInvariance(t *testing.T) {
+	f := func(a, b, k uint32) bool {
+		sa, sb, sk := Seq(a), Seq(b), k
+		return Before(sa, sb) == Before(Add(sa, sk), Add(sb, sk))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InWindow(s, start, size) iff 0 <= Diff(s, start) < size, for
+// window sizes below the half-space bound.
+func TestPropInWindowDiff(t *testing.T) {
+	f := func(s, start uint32, size uint32) bool {
+		sz := size % (1 << 30)
+		in := InWindow(Seq(s), Seq(start), sz)
+		d := Diff(Seq(s), Seq(start))
+		want := d >= 0 && uint32(d) < sz
+		return in == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count(from, from+n) == n for n below the half-space bound.
+func TestPropCountRoundTrip(t *testing.T) {
+	f := func(from, n uint32) bool {
+		k := n % (1 << 30)
+		return Count(Seq(from), Add(Seq(from), k)) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

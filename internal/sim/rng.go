@@ -1,0 +1,98 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64-seeded xoshiro256**). Each model component takes its own
+// stream so that adding a component does not perturb the draws seen by
+// the others, which keeps experiment sweeps comparable run to run.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64. Any seed,
+// including zero, yields a valid stream.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Stream derives an independent child generator; the (seed, label) pair
+// determines the stream, so components can be created in any order.
+func (r *RNG) Stream(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0x9E3779B97F4A7C15))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p. Probabilities outside [0,1] are
+// clamped.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Jitter returns a duration drawn uniformly from [d*(1-frac), d*(1+frac)].
+func (r *RNG) Jitter(d Time, frac float64) Time {
+	if frac <= 0 || d == 0 {
+		return d
+	}
+	span := float64(d) * frac
+	return d + Time((r.Float64()*2-1)*span)
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+func (r *RNG) Exp(mean Time) Time {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	// -ln(u) via the math-free approximation is not worth it; use math.Log.
+	return Time(float64(mean) * negLog(u))
+}
+
+// negLog returns -ln(u) for u in (0, 1].
+func negLog(u float64) float64 { return -math.Log(u) }

@@ -1,0 +1,167 @@
+// Package sim is a deterministic discrete-event simulation engine, the
+// stand-in for the CSIM package the paper's simulation study used. It
+// provides a virtual clock, a cancellable event queue, and seeded random
+// number streams. Identical seeds produce identical runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in nanoseconds since the start of the
+// run.
+type Time int64
+
+// Convenient durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", t/Second, (t%Second)/Microsecond)
+}
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts seconds to Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created by Engine.At and Engine.After.
+type Event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among same-time events
+	fn    func()
+	index int         // heap index, -1 when not queued
+	q     *eventQueue // owning queue, nil once fired or cancelled
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was actually removed.
+func (e *Event) Cancel() bool {
+	if e.q == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(e.q, e.index)
+	e.q = nil
+	return true
+}
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.q != nil && e.index >= 0 }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; a simulation is single-threaded
+// by design so that runs are reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+	fired  uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t <
+// now) panics: that is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.nextID, fn: fn, q: &e.queue}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event and returns true, or returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.q = nil
+	if ev.at < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t are executed.
+func (e *Engine) RunUntil(t Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events within the next d of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

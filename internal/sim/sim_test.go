@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30*Millisecond, func() { got = append(got, 3) })
+	e.At(10*Millisecond, func() { got = append(got, 1) })
+	e.At(20*Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events ran in order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("final time %v, want 30ms", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired() = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.After(Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.After(2*Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != Millisecond || fired[1] != 3*Millisecond {
+		t.Errorf("fired at %v, want [1ms 3ms]", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.At(Millisecond, func() { ran = true })
+	if !ev.Pending() {
+		t.Error("event not pending after scheduling")
+	}
+	if !ev.Cancel() {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if ev.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after cancel", e.Pending())
+	}
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	var e Engine
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i+1)*Millisecond, func() { got = append(got, i) }))
+	}
+	evs[2].Cancel()
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(Millisecond, func() { got = append(got, 1) })
+	e.At(5*Millisecond, func() { got = append(got, 5) })
+	e.RunUntil(3 * Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("RunUntil(3ms) ran %v", got)
+	}
+	if e.Now() != 3*Millisecond {
+		t.Errorf("Now() = %v, want 3ms", e.Now())
+	}
+	e.RunUntil(5 * Millisecond) // boundary inclusive
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(5ms) did not run the boundary event: %v", got)
+	}
+	e.RunFor(10 * Millisecond)
+	if e.Now() != 15*Millisecond {
+		t.Errorf("RunFor advanced to %v, want 15ms", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10*Millisecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Millisecond, func() {})
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if s := (1500 * Millisecond).String(); s != "1.500000s" {
+		t.Errorf("Time string = %q", s)
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if FromSeconds(0.25) != 250*Millisecond {
+		t.Error("FromSeconds conversion wrong")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestRNGStreamsIndependentOfOrder(t *testing.T) {
+	// Streams are derived from draw state, so derive both before drawing.
+	r1 := NewRNG(1)
+	a1 := r1.Stream(10)
+	b1 := r1.Stream(20)
+	r2 := NewRNG(1)
+	a2 := r2.Stream(10)
+	b2 := r2.Stream(20)
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() || b1.Uint64() != b2.Uint64() {
+			t.Fatal("streams not reproducible")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(4)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.02) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; rate < 0.015 || rate > 0.025 {
+		t.Errorf("Bool(0.02) rate = %v", rate)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGJitter(t *testing.T) {
+	r := NewRNG(6)
+	base := 100 * Millisecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(base, 0.1)
+		if j < 90*Millisecond || j > 110*Millisecond {
+			t.Fatalf("Jitter out of band: %v", j)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Error("zero-fraction jitter changed the value")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	var sum Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(Millisecond)
+	}
+	mean := float64(sum) / n
+	if mean < 0.95*float64(Millisecond) || mean > 1.05*float64(Millisecond) {
+		t.Errorf("Exp mean = %vns, want ≈1ms", mean)
+	}
+}
+
+// Property: a run with the same seed and same schedule fires the same
+// number of events at the same final time.
+func TestPropEngineDeterministic(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		run := func() (uint64, Time) {
+			var e Engine
+			r := NewRNG(seed)
+			n := int(nRaw%50) + 1
+			for i := 0; i < n; i++ {
+				d := Time(r.Intn(1000)) * Microsecond
+				e.After(d, func() {})
+			}
+			e.Run()
+			return e.Fired(), e.Now()
+		}
+		f1, t1 := run()
+		f2, t2 := run()
+		return f1 == f2 && t1 == t2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package stats defines the counters the performance evaluation reads:
+// feedback activity (NAKs, rate requests, updates, probes), traffic
+// volumes, and the Figure 3 release-information metric.
+package stats
+
+// Sender aggregates sender-side protocol counters. All fields count
+// events since the connection started. The zero value is ready to use.
+type Sender struct {
+	PacketsSent     int64 // first transmissions of DATA packets
+	BytesSent       int64 // payload bytes in first transmissions
+	Retransmissions int64 // DATA packets retransmitted
+	RetransBytes    int64
+
+	NaksReceived         int64
+	NakErrsSent          int64 // retransmission requests that could not be met
+	RateRequestsReceived int64 // warning CONTROL packets
+	UrgentReceived       int64 // URG CONTROL packets
+	UpdatesReceived      int64
+	JoinsReceived        int64
+	LeavesReceived       int64
+
+	ProbesSent          int64 // unicast PROBE packets
+	MulticastProbesSent int64 // multicast PROBE packets (extension)
+	FecParitySent       int64 // FEC parity packets (extension)
+	RepairsHeard        int64 // peer repairs observed (local recovery)
+	RetransCancelled    int64 // retransmissions cancelled by peer repairs
+	KeepalivesSent      int64
+
+	// Figure 3 metric: of the Releases buffer-release decisions, how
+	// many happened while the sender had complete information from all
+	// receivers (every member known past the released sequence number).
+	Releases             int64
+	ReleasesCompleteInfo int64
+	// ReleaseStalls counts transmit ticks on which the H-RMC sender
+	// wanted to advance the window but could not because receiver
+	// information was lacking.
+	ReleaseStalls int64
+}
+
+// ReleaseInfoRatio returns the Figure 3 percentage: the fraction of
+// buffer releases for which the sender had complete receiver
+// information. It reports 1 when no release has happened yet.
+func (s *Sender) ReleaseInfoRatio() float64 {
+	if s.Releases == 0 {
+		return 1
+	}
+	return float64(s.ReleasesCompleteInfo) / float64(s.Releases)
+}
+
+// Receiver aggregates receiver-side protocol counters.
+type Receiver struct {
+	DataReceived    int64 // DATA packets accepted (in or out of order)
+	Duplicates      int64
+	OutOfWindow     int64 // DATA packets dropped: beyond the receive window
+	BytesDelivered  int64 // payload bytes handed to the application
+	ChecksumErrors  int64
+	NaksSent        int64 // first NAK for a gap
+	NakRetries      int64 // NAK resends by the NAK manager
+	UpdatesSent     int64
+	UpdatesSkipped  int64 // update timer fired but other reverse traffic sufficed
+	ProbesReceived  int64
+	RateRequests    int64 // warning CONTROL packets sent
+	UrgentRequests  int64 // URG CONTROL packets sent
+	KeepalivesHeard int64
+	FecParityHeard  int64 // FEC parity packets received (extension)
+	FecRecovered    int64 // data packets rebuilt from parity (extension)
+	PeerNaksHeard   int64 // multicast NAKs from other receivers (local recovery)
+	RepairsSent     int64 // multicast repairs served to peers (local recovery)
+	// MaxFillPermille tracks the highest receive-window fill observed,
+	// in thousandths — a diagnostic for flow-control studies.
+	MaxFillPermille int64
+}

@@ -1,0 +1,180 @@
+// Package trace provides structured protocol-event tracing for the
+// H-RMC machines: senders and receivers emit coarse events (packet
+// transmissions, releases, stalls, probes, rate changes, NAKs) into a
+// Sink supplied via their configs. A nil Sink disables tracing with no
+// overhead beyond a nil check.
+//
+// The package deliberately carries no formatting opinions in the event
+// type itself; TextSink renders a human-readable line per event, and
+// CountingSink aggregates per-kind totals for tests and tools.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a protocol event.
+type Kind int
+
+// Event kinds, grouped by emitting side.
+const (
+	// Sender side.
+	SendData Kind = iota
+	SendRetransmission
+	Release
+	ReleaseStall
+	ProbeSent
+	KeepaliveSent
+	RateCut
+	RateStopped
+	MemberJoined
+	MemberLeft
+	NakErrSent
+
+	// Receiver side.
+	GapDetected
+	NakSent
+	UpdateSent
+	ProbeAnswered
+	RegionWarning
+	RegionCritical
+	StreamComplete
+
+	// Extensions.
+	FecParitySent
+	FecRecovered
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	SendData:           "send-data",
+	SendRetransmission: "retransmit",
+	Release:            "release",
+	ReleaseStall:       "release-stall",
+	ProbeSent:          "probe-sent",
+	KeepaliveSent:      "keepalive",
+	RateCut:            "rate-cut",
+	RateStopped:        "rate-stopped",
+	MemberJoined:       "member-joined",
+	MemberLeft:         "member-left",
+	NakErrSent:         "nak-err",
+	GapDetected:        "gap-detected",
+	NakSent:            "nak-sent",
+	UpdateSent:         "update-sent",
+	ProbeAnswered:      "probe-answered",
+	RegionWarning:      "region-warning",
+	RegionCritical:     "region-critical",
+	StreamComplete:     "stream-complete",
+	FecParitySent:      "fec-parity-sent",
+	FecRecovered:       "fec-recovered",
+}
+
+// String returns the event kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	Time sim.Time
+	Kind Kind
+	// Seq is the sequence number the event concerns, when meaningful.
+	Seq uint32
+	// Value carries a kind-specific quantity: packet count for NAKs,
+	// bytes/second for rate events, member count for joins/leaves.
+	Value int64
+}
+
+// Sink consumes events. Implementations must tolerate concurrent use if
+// shared between live connections; the sim drivers are single-threaded.
+type Sink interface {
+	Emit(Event)
+}
+
+// Emit sends an event to s if s is non-nil — the helper the protocol
+// machines call.
+func Emit(s Sink, t sim.Time, k Kind, seq uint32, value int64) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Time: t, Kind: k, Seq: seq, Value: value})
+}
+
+// TextSink renders events as one line each.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Prefix labels the emitting party ("snd", "rcv3").
+	prefix string
+}
+
+// NewTextSink writes events to w with the given party prefix.
+func NewTextSink(w io.Writer, prefix string) *TextSink {
+	return &TextSink{w: w, prefix: prefix}
+}
+
+// Emit implements Sink.
+func (s *TextSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "%12v %-5s %-15s seq=%-10d val=%d\n",
+		e.Time, s.prefix, e.Kind, e.Seq, e.Value)
+}
+
+// CountingSink tallies events per kind.
+type CountingSink struct {
+	mu     sync.Mutex
+	counts [numKinds]int64
+	last   [numKinds]Event
+}
+
+// Emit implements Sink.
+func (s *CountingSink) Emit(e Event) {
+	if e.Kind < 0 || e.Kind >= numKinds {
+		return
+	}
+	s.mu.Lock()
+	s.counts[e.Kind]++
+	s.last[e.Kind] = e
+	s.mu.Unlock()
+}
+
+// Count returns how many events of kind k arrived.
+func (s *CountingSink) Count(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[k]
+}
+
+// Last returns the most recent event of kind k and whether any arrived.
+func (s *CountingSink) Last(k Kind) (Event, bool) {
+	if k < 0 || k >= numKinds {
+		return Event{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last[k], s.counts[k] > 0
+}
+
+// Tee fans events out to several sinks.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}

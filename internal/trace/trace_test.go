@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind not formatted generically")
+	}
+}
+
+func TestEmitNilSinkSafe(t *testing.T) {
+	Emit(nil, 0, SendData, 1, 2) // must not panic
+}
+
+func TestTextSinkFormat(t *testing.T) {
+	var b strings.Builder
+	s := NewTextSink(&b, "snd")
+	Emit(s, 1500*sim.Millisecond, NakSent, 42, 3)
+	out := b.String()
+	for _, want := range []string{"snd", "nak-sent", "seq=42", "val=3", "1.500000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text sink output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var s CountingSink
+	if s.Count(SendData) != 0 {
+		t.Error("fresh sink has counts")
+	}
+	if _, ok := s.Last(SendData); ok {
+		t.Error("fresh sink has a last event")
+	}
+	Emit(&s, 10, SendData, 1, 100)
+	Emit(&s, 20, SendData, 2, 200)
+	Emit(&s, 30, Release, 1, 0)
+	if s.Count(SendData) != 2 || s.Count(Release) != 1 || s.Count(NakSent) != 0 {
+		t.Errorf("counts wrong: %d %d %d", s.Count(SendData), s.Count(Release), s.Count(NakSent))
+	}
+	last, ok := s.Last(SendData)
+	if !ok || last.Seq != 2 || last.Value != 200 || last.Time != 20 {
+		t.Errorf("last = %+v, %v", last, ok)
+	}
+	// Out-of-range kinds are ignored, not panics.
+	s.Emit(Event{Kind: Kind(200)})
+	if s.Count(Kind(200)) != 0 {
+		t.Error("out-of-range kind counted")
+	}
+}
+
+func TestCountingSinkConcurrent(t *testing.T) {
+	var s CountingSink
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Emit(&s, 0, UpdateSent, uint32(j), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count(UpdateSent) != 8000 {
+		t.Errorf("concurrent count = %d", s.Count(UpdateSent))
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b CountingSink
+	tee := Tee{&a, nil, &b}
+	Emit(tee, 0, GapDetected, 7, 0)
+	if a.Count(GapDetected) != 1 || b.Count(GapDetected) != 1 {
+		t.Error("tee did not fan out")
+	}
+}

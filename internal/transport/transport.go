@@ -1,0 +1,179 @@
+// Package transport defines the packet transport the live (real-time)
+// protocol drivers run over, plus an in-memory multicast hub for tests
+// and examples that need no network at all. The same sans-I/O protocol
+// machines also run under internal/netsim; this interface is only for
+// wall-clock operation.
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport moves encoded H-RMC packets between one sender and many
+// receivers. Implementations must be safe for concurrent use.
+type Transport interface {
+	// Send transmits p to the whole group (multicast) or to one node.
+	Send(p *packet.Packet, multicast bool, node packet.NodeID) error
+	// Recv blocks until a packet arrives and returns it with the
+	// source's node ID. It returns ErrClosed after Close.
+	Recv() (*packet.Packet, packet.NodeID, error)
+	// Local returns this endpoint's node ID.
+	Local() packet.NodeID
+	// Close shuts the endpoint down and unblocks Recv.
+	Close() error
+}
+
+// Hub is an in-memory multicast domain: one process, many endpoints.
+// Configurable loss and delay make it a convenient harness for
+// demonstrating recovery without a real network.
+type Hub struct {
+	mu     sync.Mutex
+	eps    map[packet.NodeID]*hubEndpoint
+	next   packet.NodeID
+	loss   float64
+	delay  time.Duration
+	rng    *rand.Rand
+	closed bool
+}
+
+// HubOption configures a Hub.
+type HubOption func(*Hub)
+
+// WithLoss makes the hub drop each delivery independently with
+// probability p, seeded deterministically.
+func WithLoss(p float64, seed int64) HubOption {
+	return func(h *Hub) {
+		h.loss = p
+		h.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithDelay adds a fixed one-way delivery delay.
+func WithDelay(d time.Duration) HubOption {
+	return func(h *Hub) { h.delay = d }
+}
+
+// NewHub creates an in-memory multicast domain.
+func NewHub(opts ...HubOption) *Hub {
+	h := &Hub{eps: make(map[packet.NodeID]*hubEndpoint)}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Endpoint creates a new endpoint attached to the hub.
+func (h *Hub) Endpoint() Transport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	ep := &hubEndpoint{
+		hub: h,
+		id:  id,
+		ch:  make(chan hubItem, 4096),
+	}
+	h.eps[id] = ep
+	return ep
+}
+
+type hubItem struct {
+	pkt  *packet.Packet
+	from packet.NodeID
+}
+
+type hubEndpoint struct {
+	hub    *Hub
+	id     packet.NodeID
+	ch     chan hubItem
+	closed sync.Once
+	done   chan struct{}
+	init   sync.Once
+}
+
+func (e *hubEndpoint) doneCh() chan struct{} {
+	e.init.Do(func() { e.done = make(chan struct{}) })
+	return e.done
+}
+
+func (e *hubEndpoint) Local() packet.NodeID { return e.id }
+
+func (e *hubEndpoint) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
+	h := e.hub
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	var targets []*hubEndpoint
+	if multicast {
+		for id, t := range h.eps {
+			if id != e.id {
+				targets = append(targets, t)
+			}
+		}
+	} else if t, ok := h.eps[node]; ok {
+		targets = append(targets, t)
+	}
+	// Loss draws happen under the lock for determinism.
+	kept := targets[:0]
+	for _, t := range targets {
+		if h.rng != nil && h.rng.Float64() < h.loss {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	delay := h.delay
+	h.mu.Unlock()
+
+	deliver := func() {
+		for _, t := range kept {
+			item := hubItem{pkt: p.Clone(), from: e.id}
+			select {
+			case t.ch <- item:
+			case <-t.doneCh():
+			default: // receiver queue overflow behaves like loss
+			}
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+func (e *hubEndpoint) Recv() (*packet.Packet, packet.NodeID, error) {
+	select {
+	case item := <-e.ch:
+		return item.pkt, item.from, nil
+	case <-e.doneCh():
+		// Drain anything that raced with close.
+		select {
+		case item := <-e.ch:
+			return item.pkt, item.from, nil
+		default:
+			return nil, 0, ErrClosed
+		}
+	}
+}
+
+func (e *hubEndpoint) Close() error {
+	e.closed.Do(func() {
+		close(e.doneCh())
+		h := e.hub
+		h.mu.Lock()
+		delete(h.eps, e.id)
+		h.mu.Unlock()
+	})
+	return nil
+}

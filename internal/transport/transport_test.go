@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func pkt(seq uint32) *packet.Packet {
+	return &packet.Packet{Header: packet.Header{Type: packet.TypeData, Seq: seq, Length: 0}}
+}
+
+func TestHubEndpointIdentity(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Endpoint(), hub.Endpoint()
+	if a.Local() == b.Local() {
+		t.Fatal("endpoints share a node ID")
+	}
+}
+
+func TestHubMulticastExcludesOrigin(t *testing.T) {
+	hub := NewHub()
+	a, b, c := hub.Endpoint(), hub.Endpoint(), hub.Endpoint()
+	if err := a.Send(pkt(1), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []Transport{b, c} {
+		got, from, err := ep.Recv()
+		if err != nil || got.Seq != 1 || from != a.Local() {
+			t.Fatalf("multicast recv: %v %v %v", got, from, err)
+		}
+	}
+	// The origin must not have received its own multicast: nothing to
+	// read without blocking. Close unblocks with ErrClosed.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("origin received its own multicast or wrong error: %v", err)
+	}
+}
+
+func TestHubUnicastTargetsOneEndpoint(t *testing.T) {
+	hub := NewHub()
+	a, b, c := hub.Endpoint(), hub.Endpoint(), hub.Endpoint()
+	if err := a.Send(pkt(9), false, b.Local()); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := b.Recv()
+	if err != nil || got.Seq != 9 || from != a.Local() {
+		t.Fatalf("unicast recv: %v %v %v", got, from, err)
+	}
+	// c must not see the unicast.
+	done := make(chan struct{})
+	go func() {
+		c.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("unrelated endpoint received a unicast")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Close()
+}
+
+func TestHubUnicastToUnknownNodeIsDropped(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint()
+	if err := a.Send(pkt(1), false, 999); err != nil {
+		t.Errorf("send to unknown node errored: %v", err)
+	}
+}
+
+func TestHubDeliveryIsolation(t *testing.T) {
+	// Payload mutations after Send must not reach receivers (packets
+	// are cloned per delivery).
+	hub := NewHub()
+	a, b := hub.Endpoint(), hub.Endpoint()
+	p := &packet.Packet{
+		Header:  packet.Header{Type: packet.TypeData, Seq: 1, Length: 3},
+		Payload: []byte{1, 2, 3},
+	}
+	a.Send(p, true, 0)
+	p.Payload[0] = 99
+	got, _, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload[0] != 1 {
+		t.Error("delivered packet shares payload memory with the sender")
+	}
+}
+
+func TestHubLossDropsDeliveries(t *testing.T) {
+	hub := NewHub(WithLoss(1.0, 1)) // drop everything
+	a, b := hub.Endpoint(), hub.Endpoint()
+	for i := 0; i < 10; i++ {
+		a.Send(pkt(uint32(i)), true, 0)
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("packet delivered despite 100% loss")
+	case <-time.After(30 * time.Millisecond):
+	}
+	b.Close()
+}
+
+func TestHubPartialLossStatistics(t *testing.T) {
+	hub := NewHub(WithLoss(0.5, 7))
+	a, b := hub.Endpoint(), hub.Endpoint()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a.Send(pkt(uint32(i)), false, b.Local())
+	}
+	// Without a configured delay, delivery is synchronous: everything
+	// that survived the loss draw is already queued.
+	got := len(b.(*hubEndpoint).ch)
+	if got < 800 || got > 1200 {
+		t.Errorf("50%% loss delivered %d of %d", got, n)
+	}
+}
+
+func TestHubDelay(t *testing.T) {
+	hub := NewHub(WithDelay(50 * time.Millisecond))
+	a, b := hub.Endpoint(), hub.Endpoint()
+	start := time.Now()
+	a.Send(pkt(1), true, 0)
+	_, _, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 45*time.Millisecond {
+		t.Errorf("delivery took %v, want ≥ 50ms delay", el)
+	}
+}
+
+func TestHubCloseSemantics(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Endpoint(), hub.Endpoint()
+	a.Close()
+	if err := a.Close(); err != nil {
+		t.Errorf("double Close errored: %v", err)
+	}
+	if _, _, err := a.Recv(); err != ErrClosed {
+		t.Errorf("Recv after Close = %v", err)
+	}
+	// Sending to a closed endpoint is a silent drop, like the network.
+	if err := b.Send(pkt(1), false, a.Local()); err != nil {
+		t.Errorf("send to closed endpoint errored: %v", err)
+	}
+}
+
+func TestHubConcurrentSendersSafe(t *testing.T) {
+	hub := NewHub()
+	rx := hub.Endpoint()
+	const senders, per = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep := hub.Endpoint()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ep.Send(pkt(uint32(i)), false, rx.Local())
+			}
+		}()
+	}
+	got := 0
+	recvDone := make(chan int, 1)
+	go func() {
+		n := 0
+		for n < senders*per {
+			_, _, err := rx.Recv()
+			if err != nil {
+				break
+			}
+			n++
+		}
+		recvDone <- n
+	}()
+	wg.Wait()
+	select {
+	case got = <-recvDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent delivery timed out")
+	}
+	if got != senders*per {
+		t.Errorf("received %d of %d", got, senders*per)
+	}
+}

@@ -1,0 +1,287 @@
+// Package udpmcast implements the transport.Transport interface over
+// real IP multicast using the standard net package, so the same protocol
+// machines that run in the simulator drive actual UDP sockets — the
+// library's equivalent of the paper's kernel deployment.
+//
+// Topology: the sender owns one UDP socket from which it multicasts DATA
+// to the group address and unicasts PROBE/JOIN_RESPONSE/... to
+// receivers; receivers join the group on a multicast listener and send
+// feedback from a second unicast socket, whose source address is what
+// the sender's membership table stores (mapped to a dense NodeID).
+package udpmcast
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// maxDatagram bounds received packet size (MSS + header with slack).
+const maxDatagram = 64 << 10
+
+// SenderTransport is the sender-side UDP endpoint.
+type SenderTransport struct {
+	conn  *net.UDPConn
+	group *net.UDPAddr
+
+	mu    sync.Mutex
+	ids   map[string]packet.NodeID
+	addrs map[packet.NodeID]*net.UDPAddr
+	next  packet.NodeID
+}
+
+var _ transport.Transport = (*SenderTransport)(nil)
+
+// SenderOption configures a SenderTransport.
+type SenderOption func(*SenderTransport) error
+
+// WithEgressIP pins outgoing multicast to the interface owning ip and
+// enables multicast loopback — required for same-host demos, where the
+// group must be reached over 127.0.0.1.
+func WithEgressIP(ip net.IP) SenderOption {
+	return func(t *SenderTransport) error {
+		ip4 := ip.To4()
+		if ip4 == nil {
+			return fmt.Errorf("udpmcast: egress IP %v is not IPv4", ip)
+		}
+		rc, err := t.conn.SyscallConn()
+		if err != nil {
+			return err
+		}
+		var serr error
+		err = rc.Control(func(fd uintptr) {
+			if e := syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_LOOP, 1); e != nil {
+				serr = e
+				return
+			}
+			serr = syscall.SetsockoptInet4Addr(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_IF, [4]byte(ip4))
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}
+}
+
+// NewSenderTransport opens a sender endpoint for the given multicast
+// group ("239.66.66.66:9999").
+func NewSenderTransport(group string, opts ...SenderOption) (*SenderTransport, error) {
+	gaddr, err := net.ResolveUDPAddr("udp4", group)
+	if err != nil {
+		return nil, fmt.Errorf("udpmcast: resolve group: %w", err)
+	}
+	if !gaddr.IP.IsMulticast() {
+		return nil, fmt.Errorf("udpmcast: %s is not a multicast address", gaddr.IP)
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{})
+	if err != nil {
+		return nil, fmt.Errorf("udpmcast: listen: %w", err)
+	}
+	t := &SenderTransport{
+		conn:  conn,
+		group: gaddr,
+		ids:   make(map[string]packet.NodeID),
+		addrs: make(map[packet.NodeID]*net.UDPAddr),
+		next:  1,
+	}
+	for _, o := range opts {
+		if err := o(t); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Local implements transport.Transport; the sender is node 0.
+func (t *SenderTransport) Local() packet.NodeID { return 0 }
+
+// Addr returns the sender's unicast socket address.
+func (t *SenderTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// Send implements transport.Transport.
+func (t *SenderTransport) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
+	buf, err := p.Encode(nil)
+	if err != nil {
+		return err
+	}
+	if multicast {
+		_, err = t.conn.WriteToUDP(buf, t.group)
+		return err
+	}
+	t.mu.Lock()
+	addr := t.addrs[node]
+	t.mu.Unlock()
+	if addr == nil {
+		return fmt.Errorf("udpmcast: unknown node %v", node)
+	}
+	_, err = t.conn.WriteToUDP(buf, addr)
+	return err
+}
+
+// Recv implements transport.Transport: it blocks for receiver feedback
+// on the unicast socket, assigning dense node IDs to new source
+// addresses.
+func (t *SenderTransport) Recv() (*packet.Packet, packet.NodeID, error) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return nil, 0, transport.ErrClosed
+		}
+		p, err := packet.Decode(buf[:n])
+		if err != nil {
+			continue // garbage or corrupted datagram
+		}
+		key := src.String()
+		t.mu.Lock()
+		id, ok := t.ids[key]
+		if !ok {
+			id = t.next
+			t.next++
+			t.ids[key] = id
+			t.addrs[id] = src
+		}
+		t.mu.Unlock()
+		return p, id, nil
+	}
+}
+
+// Close implements transport.Transport.
+func (t *SenderTransport) Close() error { return t.conn.Close() }
+
+// ReceiverTransport is the receiver-side UDP endpoint.
+type ReceiverTransport struct {
+	mconn *net.UDPConn // multicast listener (DATA, KEEPALIVE, ...)
+	uconn *net.UDPConn // unicast socket (feedback out, PROBE in)
+	group *net.UDPAddr // group address for local-recovery multicast
+
+	items  chan rxItem
+	closed chan struct{}
+	once   sync.Once
+
+	mu     sync.Mutex
+	sender *net.UDPAddr
+}
+
+type rxItem struct {
+	pkt *packet.Packet
+	src *net.UDPAddr
+}
+
+var _ transport.Transport = (*ReceiverTransport)(nil)
+
+// NewReceiverTransport joins the multicast group on the given interface
+// (nil selects the system default) and opens the feedback socket.
+func NewReceiverTransport(group string, ifi *net.Interface) (*ReceiverTransport, error) {
+	gaddr, err := net.ResolveUDPAddr("udp4", group)
+	if err != nil {
+		return nil, fmt.Errorf("udpmcast: resolve group: %w", err)
+	}
+	mconn, err := net.ListenMulticastUDP("udp4", ifi, gaddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpmcast: join group: %w", err)
+	}
+	uconn, err := net.ListenUDP("udp4", &net.UDPAddr{})
+	if err != nil {
+		mconn.Close()
+		return nil, fmt.Errorf("udpmcast: listen unicast: %w", err)
+	}
+	t := &ReceiverTransport{
+		mconn:  mconn,
+		uconn:  uconn,
+		group:  gaddr,
+		items:  make(chan rxItem, 4096),
+		closed: make(chan struct{}),
+	}
+	go t.readLoop(mconn, true)
+	go t.readLoop(uconn, false)
+	return t, nil
+}
+
+func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p, err := packet.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if learnSender {
+			t.mu.Lock()
+			if t.sender == nil {
+				t.sender = src
+			}
+			t.mu.Unlock()
+		}
+		select {
+		case t.items <- rxItem{pkt: p, src: src}:
+		case <-t.closed:
+			return
+		default: // overflow behaves like network loss
+		}
+	}
+}
+
+// Local implements transport.Transport. Receivers identify themselves to
+// the protocol by their feedback port (unique per host in practice); the
+// sender side assigns its own dense IDs from source addresses, so this
+// value is only cosmetic.
+func (t *ReceiverTransport) Local() packet.NodeID {
+	return packet.NodeID(t.uconn.LocalAddr().(*net.UDPAddr).Port)
+}
+
+// Send implements transport.Transport: unicast feedback goes to the
+// sender, whose address is learned from the first multicast packet;
+// multicast (local-recovery NAKs and repairs) goes to the group address.
+func (t *ReceiverTransport) Send(p *packet.Packet, multicast bool, _ packet.NodeID) error {
+	buf, err := p.Encode(nil)
+	if err != nil {
+		return err
+	}
+	if multicast {
+		_, err = t.uconn.WriteToUDP(buf, t.group)
+		return err
+	}
+	t.mu.Lock()
+	dst := t.sender
+	t.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("udpmcast: sender address not yet known")
+	}
+	_, err = t.uconn.WriteToUDP(buf, dst)
+	return err
+}
+
+// Recv implements transport.Transport.
+func (t *ReceiverTransport) Recv() (*packet.Packet, packet.NodeID, error) {
+	select {
+	case item := <-t.items:
+		return item.pkt, 0, nil
+	case <-t.closed:
+		select {
+		case item := <-t.items:
+			return item.pkt, 0, nil
+		default:
+			return nil, 0, transport.ErrClosed
+		}
+	}
+}
+
+// Close implements transport.Transport.
+func (t *ReceiverTransport) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	err1 := t.mconn.Close()
+	err2 := t.uconn.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
