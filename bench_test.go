@@ -7,9 +7,18 @@
 package repro
 
 import (
+	"fmt"
+	"io"
+	"sync"
 	"testing"
 
+	"repro/internal/app"
 	"repro/internal/experiments"
+	"repro/internal/rate"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/session"
+	"repro/internal/transport"
 )
 
 func quickOpts() experiments.Options {
@@ -87,3 +96,68 @@ func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15", "val") }
 // BenchmarkFig16 regenerates Figure 16: the simulated 100 Mbps study and
 // the many-receiver headline number.
 func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16", "val") }
+
+// BenchmarkSessionMultiplex measures aggregate live-path throughput as
+// a function of concurrent flow count: N sender flows, each with one
+// receiver, multiplexed over one internal/session tick loop and one
+// in-memory hub. Reported MB/s is aggregate across all flows; the
+// interesting series is how it scales (or doesn't) with flows=1→8.
+func BenchmarkSessionMultiplex(b *testing.B) {
+	for _, flows := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			const size = 256 << 10
+			b.SetBytes(int64(flows) * size)
+			for i := 0; i < b.N; i++ {
+				runSessionTransfer(b, flows, size)
+			}
+		})
+	}
+}
+
+// runSessionTransfer moves size bytes on each of n concurrent flows
+// through one session and asserts full delivery.
+func runSessionTransfer(b *testing.B, n, size int) {
+	b.Helper()
+	hub := transport.NewHub()
+	sess := session.New(session.Config{})
+	defer sess.Close()
+	fast := rate.Config{MinRate: 32e6, MaxRate: 1e9, MSS: 1400}
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		sp, rp := uint16(100+2*g), uint16(101+2*g)
+		data := make([]byte, size)
+		app.FillPattern(data, int64(g)<<20)
+		rf, err := sess.OpenReceiver(hub.Endpoint(), receiver.Config{
+			LocalPort: rp, RemotePort: sp, RcvBuf: 256 << 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := io.ReadAll(rf)
+			if err != nil || len(got) != size {
+				b.Errorf("flow %d: delivered %d bytes, err=%v", g, len(got), err)
+			}
+		}(g)
+		sf, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+			LocalPort: sp, RemotePort: rp, SndBuf: 256 << 10,
+			ExpectedReceivers: 1, MinBufRTTs: 1, Rate: fast,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := sf.Write(data); err != nil {
+				b.Errorf("flow %d write: %v", g, err)
+			}
+			if err := sf.Close(); err != nil {
+				b.Errorf("flow %d close: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,12 +1,17 @@
-// Package core is the public face of the H-RMC library: it wires the
-// sans-I/O protocol machines (internal/sender, internal/receiver) to a
-// wall-clock driver over any Transport, giving applications the familiar
-// blocking Write/Read/Close socket feel of the kernel implementation's
-// BSD interface.
+// Package core is the single-flow public face of the H-RMC library: it
+// gives applications the familiar blocking Write/Read/Close socket
+// feel of the kernel implementation's BSD interface over any
+// Transport.
 //
-// The same machines run, unchanged, under the discrete-event simulator
-// in internal/netsim — the Go analogue of the paper importing the H-RMC
-// kernel code directly into its CSIM simulation.
+// Since the session layer landed there is exactly one wall-clock
+// driver implementation: internal/session hosts N concurrent flows
+// over one tick loop and one receive loop per transport, and each core
+// Sender/Receiver is a thin wrapper around a private one-flow Session.
+// Programs multiplexing many groups should use internal/session
+// directly. The same sans-I/O machines also run, unchanged, under the
+// discrete-event simulator in internal/netsim — the Go analogue of the
+// paper importing the H-RMC kernel code directly into its CSIM
+// simulation.
 //
 // A minimal session:
 //
@@ -18,286 +23,96 @@
 package core
 
 import (
-	"errors"
-	"sync"
-	"time"
-
-	"repro/internal/packet"
 	"repro/internal/receiver"
 	"repro/internal/sender"
-	"repro/internal/sim"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
 // TickInterval is the wall-clock transmit/timer tick, one kernel jiffy.
-const TickInterval = 10 * time.Millisecond
+const TickInterval = session.DefaultTickInterval
 
 // ErrAborted is returned by operations on an aborted connection.
-var ErrAborted = errors.New("hrmc: connection aborted")
+var ErrAborted = session.ErrAborted
+
+// newFlowSession builds the private one-flow session backing a core
+// connection.
+func newFlowSession() *session.Session {
+	return session.New(session.Config{TickInterval: TickInterval})
+}
 
 // Sender is a reliable-multicast sending connection.
 type Sender struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	m     *sender.Sender
-	tr    transport.Transport
-	start time.Time
-	err   error
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	sess *session.Session
+	f    *session.SenderFlow
 }
 
 // NewSender opens a sending connection over tr and starts its driver
-// goroutines.
+// loops. The connection owns tr and closes it on Close/Abort.
 func NewSender(tr transport.Transport, cfg sender.Config) *Sender {
-	s := &Sender{
-		m:     sender.New(cfg),
-		tr:    tr,
-		start: time.Now(),
-		quit:  make(chan struct{}),
+	sess := newFlowSession()
+	f, err := sess.OpenSender(tr, cfg)
+	if err != nil {
+		// A fresh one-flow session cannot have port conflicts.
+		panic("core: " + err.Error())
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.wg.Add(2)
-	go s.tickLoop()
-	go s.recvLoop()
-	return s
-}
-
-func (s *Sender) now() sim.Time { return sim.Time(time.Since(s.start)) }
-
-func (s *Sender) tickLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(TickInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			s.mu.Lock()
-			s.m.Tick(s.now())
-			s.flushLocked()
-			s.cond.Broadcast()
-			s.mu.Unlock()
-		case <-s.quit:
-			return
-		}
-	}
-}
-
-func (s *Sender) recvLoop() {
-	defer s.wg.Done()
-	for {
-		p, from, err := s.tr.Recv()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		s.m.HandlePacket(s.now(), from, p)
-		s.flushLocked()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	}
-}
-
-func (s *Sender) flushLocked() {
-	for _, o := range s.m.Outgoing() {
-		_ = s.tr.Send(o.Pkt, o.Dest.Multicast, o.Dest.Node)
-	}
+	return &Sender{sess: sess, f: f}
 }
 
 // Write sends b on the multicast stream, blocking while the send window
 // is full. It returns len(b) unless the connection is aborted.
-func (s *Sender) Write(b []byte) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for n < len(b) {
-		if s.err != nil {
-			return n, s.err
-		}
-		w := s.m.Write(s.now(), b[n:])
-		n += w
-		if w > 0 {
-			// Ship what fit without waiting for the next tick.
-			s.m.Tick(s.now())
-			s.flushLocked()
-			continue
-		}
-		s.cond.Wait()
-	}
-	return n, nil
-}
+func (s *Sender) Write(b []byte) (int, error) { return s.f.Write(b) }
 
 // Close marks the end of the stream and blocks until every receiver is
 // known to hold all data (the send window fully releases).
 func (s *Sender) Close() error {
-	s.mu.Lock()
-	s.m.Close(s.now())
-	for !s.m.Done() && s.err == nil {
-		s.cond.Wait()
-	}
-	err := s.err
-	s.mu.Unlock()
-	s.shutdown()
+	err := s.f.Close()
+	_ = s.sess.Close()
 	return err
 }
 
 // Abort tears the connection down without waiting for delivery.
 func (s *Sender) Abort() {
-	s.mu.Lock()
-	if s.err == nil {
-		s.err = ErrAborted
-	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	s.shutdown()
-}
-
-func (s *Sender) shutdown() {
-	s.mu.Lock()
-	select {
-	case <-s.quit:
-	default:
-		close(s.quit)
-	}
-	s.mu.Unlock()
-	_ = s.tr.Close()
-	s.wg.Wait()
+	s.f.Abort()
+	s.sess.Abort()
 }
 
 // Stats returns the sender's protocol counters.
-func (s *Sender) Stats() *stats.Sender { return s.m.Stats() }
+func (s *Sender) Stats() *stats.Sender { return s.f.Stats() }
 
 // Members returns the number of receivers currently joined.
-func (s *Sender) Members() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Members()
-}
+func (s *Sender) Members() int { return s.f.Members() }
 
 // Receiver is a reliable-multicast receiving connection implementing
 // io.Reader semantics: Read blocks for data and returns io.EOF at the
 // end of the stream.
 type Receiver struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	m         *receiver.Receiver
-	tr        transport.Transport
-	start     time.Time
-	err       error
-	quit      chan struct{}
-	wg        sync.WaitGroup
-	senderSet bool
-	sender    packet.NodeID
+	sess *session.Session
+	f    *session.ReceiverFlow
 }
 
-// NewReceiver opens a receiving connection over tr and starts its driver
-// goroutines.
+// NewReceiver opens a receiving connection over tr and starts its
+// driver loops. The connection owns tr and closes it on Close.
 func NewReceiver(tr transport.Transport, cfg receiver.Config) *Receiver {
-	if cfg.LocalAddr == 0 {
-		cfg.LocalAddr = tr.Local()
+	sess := newFlowSession()
+	f, err := sess.OpenReceiver(tr, cfg)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
-	r := &Receiver{
-		m:     receiver.New(cfg),
-		tr:    tr,
-		start: time.Now(),
-		quit:  make(chan struct{}),
-	}
-	r.cond = sync.NewCond(&r.mu)
-	r.wg.Add(2)
-	go r.tickLoop()
-	go r.recvLoop()
-	return r
-}
-
-func (r *Receiver) now() sim.Time { return sim.Time(time.Since(r.start)) }
-
-func (r *Receiver) tickLoop() {
-	defer r.wg.Done()
-	t := time.NewTicker(TickInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			r.mu.Lock()
-			r.m.Advance(r.now())
-			r.flushLocked()
-			r.cond.Broadcast()
-			r.mu.Unlock()
-		case <-r.quit:
-			return
-		}
-	}
-}
-
-func (r *Receiver) recvLoop() {
-	defer r.wg.Done()
-	for {
-		p, from, err := r.tr.Recv()
-		if err != nil {
-			r.mu.Lock()
-			if r.err == nil {
-				r.err = err
-			}
-			r.cond.Broadcast()
-			r.mu.Unlock()
-			return
-		}
-		r.mu.Lock()
-		if !r.senderSet {
-			r.senderSet = true
-			r.sender = from
-		}
-		_ = r.m.HandlePacket(r.now(), p)
-		r.flushLocked()
-		r.cond.Broadcast()
-		r.mu.Unlock()
-	}
-}
-
-func (r *Receiver) flushLocked() {
-	for _, p := range r.m.OutgoingMulticast() {
-		_ = r.tr.Send(p, true, 0)
-	}
-	if !r.senderSet {
-		return
-	}
-	for _, p := range r.m.Outgoing() {
-		_ = r.tr.Send(p, false, r.sender)
-	}
+	return &Receiver{sess: sess, f: f}
 }
 
 // Read delivers in-order stream bytes, blocking until data is available.
 // It returns io.EOF once the whole stream has been consumed.
-func (r *Receiver) Read(b []byte) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		n, err := r.m.Read(r.now(), b)
-		r.flushLocked() // end-of-stream queues UPDATE+LEAVE
-		if n > 0 || err != nil {
-			return n, err
-		}
-		if r.err != nil {
-			return 0, r.err
-		}
-		r.cond.Wait()
-	}
-}
+func (r *Receiver) Read(b []byte) (int, error) { return r.f.Read(b) }
 
 // Close tears the receiving connection down.
 func (r *Receiver) Close() error {
-	r.mu.Lock()
-	select {
-	case <-r.quit:
-	default:
-		close(r.quit)
-	}
-	r.mu.Unlock()
-	_ = r.tr.Close()
-	r.wg.Wait()
+	_ = r.f.Close()
+	r.sess.Abort()
 	return nil
 }
 
 // Stats returns the receiver's protocol counters.
-func (r *Receiver) Stats() *stats.Receiver { return r.m.Stats() }
+func (r *Receiver) Stats() *stats.Receiver { return r.f.Stats() }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -194,8 +195,17 @@ func (s *Sock) Connect(group string) error {
 			return fmt.Errorf("hrmcsock: connect %s: %w", group, err)
 		}
 	}
+	// DATA is addressed to the group's port — the port receivers bind —
+	// while feedback comes back to the locally bound port.
+	var remote uint16
+	if _, portStr, err := net.SplitHostPort(group); err == nil {
+		if p, err := strconv.ParseUint(portStr, 10, 16); err == nil {
+			remote = uint16(p)
+		}
+	}
 	s.snd = core.NewSender(tr, sender.Config{
 		LocalPort:         s.port,
+		RemotePort:        remote,
 		SndBuf:            s.sndBuf,
 		ExpectedReceivers: s.expected,
 	})

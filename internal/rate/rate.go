@@ -135,6 +135,28 @@ func (c *Controller) maybeResume(now sim.Time) {
 	}
 }
 
+// Ceiling returns the current MaxRate ceiling in bytes/second.
+func (c *Controller) Ceiling() float64 { return c.cfg.MaxRate }
+
+// SetCeiling re-points the MaxRate ceiling at runtime; a session's
+// fair-share governor uses it to apportion one line rate among many
+// concurrent flows. The ceiling is floored at MinRate (the
+// one-packet-per-jiffy pacing floor), and the current rate and ssthresh
+// are clamped down immediately so an over-budget flow backs off within
+// a tick rather than a round trip.
+func (c *Controller) SetCeiling(max float64) {
+	if max < c.cfg.MinRate {
+		max = c.cfg.MinRate
+	}
+	c.cfg.MaxRate = max
+	if c.ssthresh > max {
+		c.ssthresh = max
+	}
+	if c.rate > max {
+		c.rate = max
+	}
+}
+
 // MaybeGrow applies at most one growth step per round trip: doubling in
 // slow start until ssthresh, then a linear MSS-per-RTT increase. The
 // transmitter calls this from its per-jiffy tick while it has data to

@@ -284,3 +284,46 @@ func TestPropUrgentAlwaysRecovers(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSetCeilingClampsAndFloors(t *testing.T) {
+	c := newC()
+	rtt := 10 * sim.Millisecond
+	now := sim.Time(0)
+	// Grow well past the ceiling we are about to impose.
+	for i := 0; i < 8; i++ {
+		now += rtt
+		c.MaybeGrow(now, rtt)
+	}
+	if c.Rate(now) <= 4000 {
+		t.Fatalf("setup: rate %v did not grow past 4000", c.Rate(now))
+	}
+	c.SetCeiling(4000)
+	if got := c.Ceiling(); got != 4000 {
+		t.Errorf("Ceiling() = %v, want 4000", got)
+	}
+	if got := c.Rate(now); got != 4000 {
+		t.Errorf("rate after SetCeiling = %v, want clamped to 4000", got)
+	}
+	// Growth must respect the new ceiling.
+	for i := 0; i < 8; i++ {
+		now += rtt
+		c.MaybeGrow(now, rtt)
+	}
+	if got := c.Rate(now); got > 4000 {
+		t.Errorf("rate grew to %v past ceiling 4000", got)
+	}
+	// Raising the ceiling again lets the linear phase resume.
+	c.SetCeiling(8000)
+	for i := 0; i < 4; i++ {
+		now += rtt
+		c.MaybeGrow(now, rtt)
+	}
+	if got := c.Rate(now); got <= 4000 {
+		t.Errorf("rate %v did not resume growth after ceiling raise", got)
+	}
+	// Ceilings below MinRate are floored at MinRate.
+	c.SetCeiling(1)
+	if got := c.Ceiling(); got != 1000 {
+		t.Errorf("Ceiling() after sub-min set = %v, want MinRate 1000", got)
+	}
+}

@@ -290,6 +290,18 @@ func (r *Receiver) emit(p *packet.Packet) {
 // HandlePacket processes one packet from the sender. It corresponds to
 // hrmc_master_rcv on the receive path.
 func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
+	// An unconfigured RemotePort is learned from the sender's source
+	// port, the way a connected socket learns its peer — only from
+	// sender-originated types, so a peer's multicast NAK (local
+	// recovery) can never hijack the feedback address.
+	if r.cfg.RemotePort == 0 && p.SrcPort != 0 {
+		switch p.Type {
+		case packet.TypeData, packet.TypeKeepalive, packet.TypeProbe,
+			packet.TypeJoinResponse, packet.TypeLeaveResponse,
+			packet.TypeFec, packet.TypeNakErr:
+			r.cfg.RemotePort = p.SrcPort
+		}
+	}
 	switch p.Type {
 	case packet.TypeData:
 		r.onData(now, p)

@@ -226,6 +226,15 @@ func (s *Sender) RTT() sim.Time { return s.est.RTT() }
 // Rate returns the current transmission rate in bytes/second.
 func (s *Sender) Rate(now sim.Time) float64 { return s.rc.Rate(now) }
 
+// MaxRate returns the current flow-control ceiling in bytes/second.
+func (s *Sender) MaxRate() float64 { return s.rc.Ceiling() }
+
+// SetMaxRate adjusts the flow-control ceiling at runtime. The session
+// layer's fair-share governor calls this every tick to keep the
+// aggregate rate of all flows sharing a line under a global budget; the
+// driver must serialize it with the other machine entry points.
+func (s *Sender) SetMaxRate(bytesPerSec float64) { s.rc.SetCeiling(bytesPerSec) }
+
 // Members returns the current receiver count.
 func (s *Sender) Members() int { return s.members.Len() }
 

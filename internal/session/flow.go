@@ -1,0 +1,333 @@
+package session
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Kind distinguishes flow directions.
+type Kind int
+
+const (
+	// KindSender flows multicast a stream to a group.
+	KindSender Kind = iota
+	// KindReceiver flows read a stream from a group.
+	KindReceiver
+)
+
+func (k Kind) String() string {
+	if k == KindReceiver {
+		return "receiver"
+	}
+	return "sender"
+}
+
+// FlowOption configures a flow at open time.
+type FlowOption func(*flow)
+
+// WithLabel names the flow in snapshots and logs.
+func WithLabel(label string) FlowOption {
+	return func(f *flow) { f.label = label }
+}
+
+// WithWeight sets the flow's fair-share weight under a session budget
+// (default 1). Non-positive weights are ignored.
+func WithWeight(w float64) FlowOption {
+	return func(f *flow) {
+		if w > 0 {
+			f.weight = w
+		}
+	}
+}
+
+// anyFlow is what the session loops drive: either a *SenderFlow or a
+// *ReceiverFlow.
+type anyFlow interface {
+	base() *flow
+	tick(now sim.Time)
+	handle(now sim.Time, from packet.NodeID, p *packet.Packet)
+	snapshot() FlowSnapshot
+	drainClose() error
+	abort()
+}
+
+// flow is the state shared by both flow kinds. The mutex serializes
+// the sans-I/O machine against the tick loop, the receive loop, and
+// the application; cond wakes blocked Write/Read/Close callers.
+type flow struct {
+	sess   *Session
+	tr     transport.Transport
+	kind   Kind
+	id     int
+	label  string
+	port   uint16
+	weight float64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	err  error
+}
+
+func (f *flow) init(s *Session, kind Kind, tr transport.Transport, port uint16, opts []FlowOption) {
+	f.sess = s
+	f.tr = tr
+	f.kind = kind
+	f.port = port
+	f.weight = 1
+	f.cond = sync.NewCond(&f.mu)
+	for _, o := range opts {
+		o(f)
+	}
+}
+
+func (f *flow) base() *flow { return f }
+
+// fail records a driver-side error (transport closed, abort) and wakes
+// every waiter.
+func (f *flow) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// ID returns the flow's session-unique ID.
+func (f *flow) ID() int { return f.id }
+
+// Label returns the flow's WithLabel name, if any.
+func (f *flow) Label() string { return f.label }
+
+// Port returns the flow's local (demux) port.
+func (f *flow) Port() uint16 { return f.port }
+
+// SenderFlow is one reliable-multicast sending flow hosted by a
+// session. It keeps the blocking Write/Close socket feel of the kernel
+// implementation's BSD interface.
+type SenderFlow struct {
+	flow
+	m *sender.Sender
+}
+
+func (f *SenderFlow) tick(now sim.Time) {
+	f.mu.Lock()
+	f.m.Tick(now)
+	f.flushLocked()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *SenderFlow) handle(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	f.mu.Lock()
+	f.m.HandlePacket(now, from, p)
+	f.flushLocked()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *SenderFlow) flushLocked() {
+	for _, o := range f.m.Outgoing() {
+		_ = f.tr.Send(o.Pkt, o.Dest.Multicast, o.Dest.Node)
+	}
+}
+
+// activeWeight reports the flow's governor weight while it still
+// participates in the budget (not failed, not fully drained).
+func (f *SenderFlow) activeWeight() (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil || f.m.Done() {
+		return 0, false
+	}
+	return f.weight, true
+}
+
+// setCeiling re-points the flow's rate ceiling at its budget share.
+func (f *SenderFlow) setCeiling(bytesPerSec float64) {
+	f.mu.Lock()
+	f.m.SetMaxRate(bytesPerSec)
+	f.mu.Unlock()
+}
+
+// Write sends b on the multicast stream, blocking while the send
+// window is full. It returns len(b) unless the flow fails.
+func (f *SenderFlow) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for n < len(b) {
+		if f.err != nil {
+			return n, f.err
+		}
+		w := f.m.Write(f.sess.now(), b[n:])
+		n += w
+		if w > 0 {
+			// Ship what fit without waiting for the next tick.
+			f.m.Tick(f.sess.now())
+			f.flushLocked()
+			continue
+		}
+		f.cond.Wait()
+	}
+	return n, nil
+}
+
+// Close marks the end of the stream and blocks until every receiver is
+// known to hold all data (the send window fully releases). The flow
+// stays bound — late feedback is still handled and its counters remain
+// in Snapshot — until Detach or Session.Close.
+func (f *SenderFlow) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m.Close(f.sess.now())
+	for !f.m.Done() && f.err == nil {
+		f.cond.Wait()
+	}
+	return f.err
+}
+
+// Abort tears the flow down without waiting for delivery.
+func (f *SenderFlow) Abort() { f.fail(ErrAborted) }
+
+// Detach unbinds the flow from the session, freeing its port and
+// dropping it from Snapshot.
+func (f *SenderFlow) Detach() { f.sess.detach(f) }
+
+// Stats returns the flow's live protocol counters; use Snapshot for a
+// consistent copy while the flow is running.
+func (f *SenderFlow) Stats() *stats.Sender { return f.m.Stats() }
+
+// Members returns the number of receivers currently joined.
+func (f *SenderFlow) Members() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m.Members()
+}
+
+// Done reports whether the stream is closed and fully released.
+func (f *SenderFlow) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m.Done()
+}
+
+func (f *SenderFlow) snapshot() FlowSnapshot {
+	f.mu.Lock()
+	cp := f.m.Stats().Snapshot()
+	done := f.m.Done()
+	f.mu.Unlock()
+	return FlowSnapshot{
+		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port,
+		Done: done, Sender: &cp,
+	}
+}
+
+func (f *SenderFlow) drainClose() error { return f.Close() }
+func (f *SenderFlow) abort()            { f.Abort() }
+
+// ReceiverFlow is one reliable-multicast receiving flow hosted by a
+// session, implementing io.Reader semantics: Read blocks for data and
+// returns io.EOF at the end of the stream.
+type ReceiverFlow struct {
+	flow
+	m *receiver.Receiver
+
+	senderSet bool
+	sender    packet.NodeID
+}
+
+func (f *ReceiverFlow) tick(now sim.Time) {
+	f.mu.Lock()
+	f.m.Advance(now)
+	f.flushLocked()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *ReceiverFlow) handle(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	f.mu.Lock()
+	if !f.senderSet {
+		f.senderSet = true
+		f.sender = from
+	}
+	_ = f.m.HandlePacket(now, p)
+	f.flushLocked()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *ReceiverFlow) flushLocked() {
+	for _, p := range f.m.OutgoingMulticast() {
+		_ = f.tr.Send(p, true, 0)
+	}
+	if !f.senderSet {
+		return
+	}
+	for _, p := range f.m.Outgoing() {
+		_ = f.tr.Send(p, false, f.sender)
+	}
+}
+
+// Read delivers in-order stream bytes, blocking until data is
+// available. It returns io.EOF once the whole stream has been
+// consumed.
+func (f *ReceiverFlow) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		n, err := f.m.Read(f.sess.now(), b)
+		f.flushLocked() // end-of-stream queues UPDATE+LEAVE
+		if n > 0 || err != nil {
+			return n, err
+		}
+		if f.err != nil {
+			return 0, f.err
+		}
+		f.cond.Wait()
+	}
+}
+
+// Close tears the receiving flow down; pending and future Reads return
+// ErrClosed (after any already-buffered in-order data). The flow stays
+// in Snapshot until Detach or Session.Close.
+func (f *ReceiverFlow) Close() error {
+	f.fail(ErrClosed)
+	return nil
+}
+
+// Detach unbinds the flow from the session, freeing its port and
+// dropping it from Snapshot.
+func (f *ReceiverFlow) Detach() { f.sess.detach(f) }
+
+// Stats returns the flow's live protocol counters; use Snapshot for a
+// consistent copy while the flow is running.
+func (f *ReceiverFlow) Stats() *stats.Receiver { return f.m.Stats() }
+
+// Done reports whether the whole stream has been read and the LEAVE
+// acknowledged.
+func (f *ReceiverFlow) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m.Done()
+}
+
+func (f *ReceiverFlow) snapshot() FlowSnapshot {
+	f.mu.Lock()
+	cp := f.m.Stats().Snapshot()
+	done := f.m.Done()
+	f.mu.Unlock()
+	return FlowSnapshot{
+		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port,
+		Done: done, Receiver: &cp,
+	}
+}
+
+func (f *ReceiverFlow) drainClose() error { return f.Close() }
+func (f *ReceiverFlow) abort()            { _ = f.Close() }

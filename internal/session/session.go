@@ -1,0 +1,394 @@
+// Package session multiplexes many concurrent H-RMC flows — senders
+// and receivers across independent multicast groups — inside one
+// process, the way the paper's kernel implementation multiplexes all
+// AF_HRMC sockets over one jiffy clock and one timer wheel.
+//
+// One Session owns:
+//
+//   - a single wall-clock tick loop (default one kernel jiffy, 10 ms)
+//     driving every flow's transmit and timer machinery;
+//   - one Recv loop per transport, with a port-based demultiplexer
+//     that routes each incoming packet to the flow bound to its
+//     destination port — the 20-byte H-RMC header carries src/dst
+//     ports end to end, so flows sharing a transport need no extra
+//     framing. A flow bound to port 0 acts as the wildcard and
+//     receives every packet with no exact port binding, which is how
+//     single-flow users (internal/core) keep working unconfigured;
+//   - an optional aggregate bandwidth budget: a weighted fair-share
+//     governor re-apportions the configured line rate among the
+//     sender flows still transmitting, scaling each flow's
+//     internal/rate ceiling so the sum never exceeds the budget —
+//     mirroring how the kernel shared one NIC among all sockets.
+//
+// Lifecycle: OpenSender/OpenReceiver bind flows, each flow's
+// Close drains gracefully (a sender blocks until every receiver is
+// known to hold the stream), Snapshot reports per-flow and aggregate
+// counters at any time, and Session.Close drains every flow and shuts
+// the loops and transports down. internal/core remains the single-flow
+// convenience API, now a thin wrapper over a one-flow Session.
+package session
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// DefaultTickInterval is the shared transmit/timer tick, one kernel
+// jiffy.
+const DefaultTickInterval = 10 * time.Millisecond
+
+// Errors returned by session operations.
+var (
+	// ErrClosed is returned by operations on a closed session or flow.
+	ErrClosed = errors.New("session: closed")
+	// ErrAborted is returned by operations on an aborted flow.
+	ErrAborted = errors.New("session: connection aborted")
+	// ErrPortInUse is returned when a flow's local port is already
+	// bound on the same transport.
+	ErrPortInUse = errors.New("session: local port already bound on transport")
+)
+
+// Config parametrizes a Session.
+type Config struct {
+	// TickInterval is the shared wall-clock tick driving every flow;
+	// zero selects DefaultTickInterval.
+	TickInterval time.Duration
+	// Budget, when positive, caps the aggregate send rate across all
+	// sender flows in bytes/second. Every tick the fair-share governor
+	// divides it among the flows still sending, proportional to their
+	// weights (WithWeight). Shares are floored at each flow's
+	// rate-control MinRate — the one-packet-per-jiffy pacing floor —
+	// so a budget below len(flows)*MinRate cannot be fully honored.
+	Budget float64
+}
+
+// Session hosts many concurrent H-RMC flows over shared driver loops.
+// All methods are safe for concurrent use.
+type Session struct {
+	cfg   Config
+	start time.Time
+
+	mu     sync.Mutex
+	loops  map[transport.Transport]*recvLoop
+	flows  []anyFlow
+	nextID int
+	closed bool
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a session and starts its shared tick loop.
+func New(cfg Config) *Session {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	s := &Session{
+		cfg:   cfg,
+		start: time.Now(),
+		loops: make(map[transport.Transport]*recvLoop),
+		quit:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.runTicks()
+	return s
+}
+
+// now is the session clock every flow machine runs on.
+func (s *Session) now() sim.Time { return sim.Time(time.Since(s.start)) }
+
+// runTicks is the single tick loop shared by every flow.
+func (s *Session) runTicks() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.tickAll()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Session) tickAll() {
+	now := s.now()
+	s.mu.Lock()
+	flows := append([]anyFlow(nil), s.flows...)
+	s.mu.Unlock()
+	if s.cfg.Budget > 0 {
+		s.rebalance(flows)
+	}
+	for _, f := range flows {
+		f.tick(now)
+	}
+}
+
+// rebalance is the fair-share governor: it splits the budget among the
+// sender flows still transmitting, proportional to their weights, and
+// re-points each flow's rate-control ceiling at its share. Flows that
+// finish or fail release their share to the others on the next tick.
+func (s *Session) rebalance(flows []anyFlow) {
+	var total float64
+	active := make([]*SenderFlow, 0, len(flows))
+	for _, f := range flows {
+		sf, ok := f.(*SenderFlow)
+		if !ok {
+			continue
+		}
+		if w, ok := sf.activeWeight(); ok {
+			active = append(active, sf)
+			total += w
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	for _, sf := range active {
+		sf.setCeiling(s.cfg.Budget * sf.weight / total)
+	}
+}
+
+// recvLoop is the per-transport receive driver plus its demultiplexer.
+type recvLoop struct {
+	tr transport.Transport
+
+	mu     sync.Mutex
+	byPort map[uint16]anyFlow
+}
+
+// lookup routes a destination port to the owning flow: exact binding
+// first, then the port-0 wildcard flow.
+func (l *recvLoop) lookup(port uint16) anyFlow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.byPort[port]; ok {
+		return f
+	}
+	return l.byPort[0]
+}
+
+func (l *recvLoop) bind(port uint16, f anyFlow) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, taken := l.byPort[port]; taken {
+		return ErrPortInUse
+	}
+	l.byPort[port] = f
+	return nil
+}
+
+func (l *recvLoop) unbind(port uint16, f anyFlow) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.byPort[port] == f {
+		delete(l.byPort, port)
+	}
+}
+
+func (l *recvLoop) bound() []anyFlow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fs := make([]anyFlow, 0, len(l.byPort))
+	for _, f := range l.byPort {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// runRecv is the one receive loop a transport gets, demuxing every
+// arriving packet to its flow. A transport error fails every flow
+// bound to it, unblocking their waiters.
+func (s *Session) runRecv(l *recvLoop) {
+	defer s.wg.Done()
+	for {
+		p, from, err := l.tr.Recv()
+		if err != nil {
+			for _, f := range l.bound() {
+				f.base().fail(err)
+			}
+			return
+		}
+		if f := l.lookup(p.DstPort); f != nil {
+			f.handle(s.now(), from, p)
+		}
+	}
+}
+
+// attach registers a flow: it starts the transport's receive loop on
+// first use and binds the flow's local port in the demultiplexer.
+func (s *Session) attach(f anyFlow) error {
+	b := f.base()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	l, ok := s.loops[b.tr]
+	if !ok {
+		l = &recvLoop{tr: b.tr, byPort: make(map[uint16]anyFlow)}
+		s.loops[b.tr] = l
+		s.wg.Add(1)
+		go s.runRecv(l)
+	}
+	if err := l.bind(b.port, f); err != nil {
+		return err
+	}
+	b.id = s.nextID
+	s.nextID++
+	s.flows = append(s.flows, f)
+	return nil
+}
+
+// detach unbinds a flow from the demultiplexer and drops it from the
+// flow list; its counters leave Snapshot with it.
+func (s *Session) detach(f anyFlow) {
+	b := f.base()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l := s.loops[b.tr]; l != nil {
+		l.unbind(b.port, f)
+	}
+	for i, g := range s.flows {
+		if g == f {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			break
+		}
+	}
+}
+
+// OpenSender opens a sending flow over tr. cfg.LocalPort is the flow's
+// demux binding (0 binds the transport's wildcard slot); feedback
+// packets arrive on it, so receivers of the group must use it as their
+// RemotePort.
+func (s *Session) OpenSender(tr transport.Transport, cfg sender.Config, opts ...FlowOption) (*SenderFlow, error) {
+	f := &SenderFlow{m: sender.New(cfg)}
+	f.init(s, KindSender, tr, cfg.LocalPort, opts)
+	if err := s.attach(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenReceiver opens a receiving flow over tr. cfg.LocalPort is the
+// flow's demux binding (0 binds the wildcard slot); the group's sender
+// must use it as its RemotePort. A zero cfg.LocalAddr defaults to the
+// transport's node ID.
+func (s *Session) OpenReceiver(tr transport.Transport, cfg receiver.Config, opts ...FlowOption) (*ReceiverFlow, error) {
+	if cfg.LocalAddr == 0 {
+		cfg.LocalAddr = tr.Local()
+	}
+	f := &ReceiverFlow{m: receiver.New(cfg)}
+	f.init(s, KindReceiver, tr, cfg.LocalPort, opts)
+	if err := s.attach(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FlowSnapshot is one flow's entry in a session snapshot.
+type FlowSnapshot struct {
+	ID    int
+	Label string
+	Kind  Kind
+	Port  uint16
+	// Done reports stream completion: for a sender, the stream is
+	// closed and fully released; for a receiver, fully read.
+	Done bool
+	// Exactly one of Sender/Receiver is set, an atomically-read copy
+	// of the flow's counters taken under the flow lock.
+	Sender   *stats.Sender
+	Receiver *stats.Receiver
+}
+
+// Snapshot is a point-in-time view of every open flow plus aggregate
+// totals.
+type Snapshot struct {
+	Flows []FlowSnapshot
+	Total stats.Aggregate
+}
+
+// Snapshot copies every open flow's counters (consistently, under each
+// flow's lock) and merges the aggregate totals.
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	flows := append([]anyFlow(nil), s.flows...)
+	s.mu.Unlock()
+	var snap Snapshot
+	for _, f := range flows {
+		fs := f.snapshot()
+		snap.Flows = append(snap.Flows, fs)
+		if fs.Sender != nil {
+			snap.Total.AddSender(fs.Sender)
+		}
+		if fs.Receiver != nil {
+			snap.Total.AddReceiver(fs.Receiver)
+		}
+	}
+	return snap
+}
+
+// Close drains every flow gracefully — sender flows block until the
+// stream is fully released to all receivers — then stops the tick
+// loop, closes every bound transport, and waits for the receive loops.
+// It returns the first flow drain error, if any.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	flows := append([]anyFlow(nil), s.flows...)
+	s.mu.Unlock()
+	var firstErr error
+	for _, f := range flows {
+		if err := f.drainClose(); err != nil && firstErr == nil && err != ErrClosed {
+			firstErr = err
+		}
+	}
+	s.shutdown()
+	return firstErr
+}
+
+// Abort tears every flow down without waiting for delivery and shuts
+// the session down.
+func (s *Session) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	flows := append([]anyFlow(nil), s.flows...)
+	s.mu.Unlock()
+	for _, f := range flows {
+		f.abort()
+	}
+	s.shutdown()
+}
+
+func (s *Session) shutdown() {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	loops := make([]*recvLoop, 0, len(s.loops))
+	for _, l := range s.loops {
+		loops = append(loops, l)
+	}
+	s.mu.Unlock()
+	for _, l := range loops {
+		_ = l.tr.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,354 @@
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/rate"
+	"repro/internal/receiver"
+	"repro/internal/sender"
+	"repro/internal/transport"
+)
+
+// groupPorts returns the port pair for test group g: the sender binds
+// sp (receivers' RemotePort), receivers bind rp (sender's RemotePort).
+func groupPorts(g int) (sp, rp uint16) {
+	return uint16(100 + 2*g), uint16(101 + 2*g)
+}
+
+// fastRate keeps test transfers short: slow start begins at 1 MB/s
+// instead of the 140 KB/s production floor.
+func fastRate() rate.Config {
+	return rate.Config{MinRate: 1e6, MaxRate: 64e6, MSS: 1400}
+}
+
+// TestSessionMultiplexStress runs 12 concurrent flows — 4 groups of one
+// sender and two receivers — through one lossy in-memory hub, all
+// driven by one session tick loop, and asserts bit-exact delivery on
+// every flow plus coherent aggregate counters.
+func TestSessionMultiplexStress(t *testing.T) {
+	const (
+		groups      = 4
+		rcvPerGroup = 2
+		size        = 32 << 10
+	)
+	hub := transport.NewHub(transport.WithLoss(0.01, 7), transport.WithDelay(time.Millisecond))
+	sess := New(Config{})
+	defer sess.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		sp, rp := groupPorts(g)
+		data := make([]byte, size)
+		app.FillPattern(data, int64(g)<<20) // distinct stream per group
+		for i := 0; i < rcvPerGroup; i++ {
+			rf, err := sess.OpenReceiver(hub.Endpoint(), receiver.Config{
+				LocalPort: rp, RemotePort: sp, RcvBuf: 64 << 10,
+			}, WithLabel(fmt.Sprintf("g%d-rcv%d", g, i)))
+			if err != nil {
+				t.Fatalf("OpenReceiver g%d: %v", g, err)
+			}
+			wg.Add(1)
+			go func(g, i int, rf *ReceiverFlow) {
+				defer wg.Done()
+				got, err := io.ReadAll(rf)
+				if err != nil {
+					t.Errorf("group %d receiver %d: %v", g, i, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Errorf("group %d receiver %d: got %d bytes, want %d (equal=%v)",
+						g, i, len(got), len(data), bytes.Equal(got, data))
+				}
+			}(g, i, rf)
+		}
+		sf, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+			LocalPort: sp, RemotePort: rp, SndBuf: 64 << 10,
+			ExpectedReceivers: rcvPerGroup, Rate: fastRate(),
+		}, WithLabel(fmt.Sprintf("g%d-snd", g)))
+		if err != nil {
+			t.Fatalf("OpenSender g%d: %v", g, err)
+		}
+		wg.Add(1)
+		go func(g int, sf *SenderFlow) {
+			defer wg.Done()
+			if _, err := sf.Write(data); err != nil {
+				t.Errorf("group %d sender write: %v", g, err)
+			}
+			if err := sf.Close(); err != nil {
+				t.Errorf("group %d sender close: %v", g, err)
+			}
+		}(g, sf)
+	}
+
+	// A mid-flight snapshot exercises the locking under the race
+	// detector while every flow is active.
+	time.Sleep(30 * time.Millisecond)
+	_ = sess.Snapshot()
+
+	wg.Wait()
+	snap := sess.Snapshot()
+	if len(snap.Flows) != groups*(1+rcvPerGroup) {
+		t.Errorf("snapshot has %d flows, want %d", len(snap.Flows), groups*(1+rcvPerGroup))
+	}
+	if snap.Total.SenderFlows != groups || snap.Total.ReceiverFlows != groups*rcvPerGroup {
+		t.Errorf("aggregate flow counts = %d/%d, want %d/%d",
+			snap.Total.SenderFlows, snap.Total.ReceiverFlows, groups, groups*rcvPerGroup)
+	}
+	if want := int64(groups * size); snap.Total.Sender.BytesSent != want {
+		t.Errorf("aggregate BytesSent = %d, want %d", snap.Total.Sender.BytesSent, want)
+	}
+	if want := int64(groups * rcvPerGroup * size); snap.Total.Receiver.BytesDelivered != want {
+		t.Errorf("aggregate BytesDelivered = %d, want %d", snap.Total.Receiver.BytesDelivered, want)
+	}
+	for _, fs := range snap.Flows {
+		if !fs.Done {
+			t.Errorf("flow %d (%s) not done at end of transfer", fs.ID, fs.Label)
+		}
+	}
+}
+
+// TestSessionBudgetGovernor runs four senders under a 2 MB/s aggregate
+// budget and asserts the measured aggregate wire rate stays at or
+// under it (with token-bucket burst slack).
+func TestSessionBudgetGovernor(t *testing.T) {
+	const (
+		flows  = 4
+		size   = 96 << 10
+		budget = 2e6 // bytes/second aggregate
+	)
+	hub := transport.NewHub()
+	sess := New(Config{Budget: budget})
+	defer sess.Close()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < flows; g++ {
+		sp, rp := groupPorts(g)
+		data := make([]byte, size)
+		app.FillPattern(data, int64(g)<<20)
+		rf, err := sess.OpenReceiver(hub.Endpoint(), receiver.Config{
+			LocalPort: rp, RemotePort: sp, RcvBuf: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := io.ReadAll(rf)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Errorf("group %d delivery failed: err=%v equal=%v", g, err, bytes.Equal(got, data))
+			}
+		}(g)
+		sf, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+			LocalPort: sp, RemotePort: rp, SndBuf: 64 << 10,
+			ExpectedReceivers: 1,
+			Rate:              rate.Config{MinRate: 100e3, MaxRate: 64e6, MSS: 1400},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := sf.Write(data); err != nil {
+				t.Errorf("group %d write: %v", g, err)
+			}
+			if err := sf.Close(); err != nil {
+				t.Errorf("group %d close: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := sess.Snapshot()
+	agg := &snap.Total.Sender
+	wireBytes := agg.BytesSent + agg.RetransBytes + 20*(agg.PacketsSent+agg.Retransmissions)
+	measured := float64(wireBytes) / elapsed.Seconds()
+	// 30% slack absorbs token-bucket bursts and tick quantization; the
+	// point is that four unconstrained 64 MB/s flows were held near the
+	// shared 2 MB/s line.
+	if measured > budget*1.3 {
+		t.Errorf("aggregate send rate %.0f B/s exceeds budget %.0f B/s", measured, budget)
+	}
+	if elapsed < time.Duration(float64(flows*size)/budget*0.5*float64(time.Second)) {
+		t.Errorf("transfer finished in %v — too fast for a %.0f B/s budget over %d bytes",
+			elapsed, budget, flows*size)
+	}
+}
+
+// TestGovernorWeightedShares checks the fair-share math directly: with
+// weights 3 and 1 under a 1 MB/s budget, the governor must point the
+// flows' rate ceilings at 750 and 250 KB/s.
+func TestGovernorWeightedShares(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{Budget: 1e6})
+	defer sess.Abort()
+
+	a, err := sess.OpenSender(hub.Endpoint(), sender.Config{LocalPort: 1}, WithWeight(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.OpenSender(hub.Endpoint(), sender.Config{LocalPort: 2}, WithWeight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := func(f *SenderFlow) float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.m.MaxRate()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ceiling(a) == 750e3 && ceiling(b) == 250e3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("ceilings = %.0f/%.0f, want 750000/250000", ceiling(a), ceiling(b))
+}
+
+// TestSessionDemuxSharedTransport hosts two flows of different groups
+// on one shared endpoint — the sender of group 1 and a receiver of
+// group 2 — and checks the port demultiplexer keeps both streams
+// intact in both directions.
+func TestSessionDemuxSharedTransport(t *testing.T) {
+	const size = 16 << 10
+	hub := transport.NewHub()
+	sess := New(Config{})
+	defer sess.Close()
+
+	sp1, rp1 := groupPorts(1)
+	sp2, rp2 := groupPorts(2)
+	shared := hub.Endpoint() // hosts g1's sender AND g2's receiver
+
+	data1 := make([]byte, size)
+	app.FillPattern(data1, 1<<20)
+	data2 := make([]byte, size)
+	app.FillPattern(data2, 2<<20)
+
+	r1, err := sess.OpenReceiver(hub.Endpoint(), receiver.Config{LocalPort: rp1, RemotePort: sp1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sess.OpenReceiver(shared, receiver.Config{LocalPort: rp2, RemotePort: sp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sess.OpenSender(shared, sender.Config{
+		LocalPort: sp1, RemotePort: rp1, ExpectedReceivers: 1, Rate: fastRate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+		LocalPort: sp2, RemotePort: rp2, ExpectedReceivers: 1, Rate: fastRate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	check := func(name string, rf *ReceiverFlow, want []byte) {
+		defer wg.Done()
+		got, err := io.ReadAll(rf)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: got %d bytes, want %d (equal=%v)", name, len(got), len(want), bytes.Equal(got, want))
+		}
+	}
+	send := func(name string, sf *SenderFlow, data []byte) {
+		defer wg.Done()
+		if _, err := sf.Write(data); err != nil {
+			t.Errorf("%s write: %v", name, err)
+		}
+		if err := sf.Close(); err != nil {
+			t.Errorf("%s close: %v", name, err)
+		}
+	}
+	wg.Add(4)
+	go check("g1", r1, data1)
+	go check("g2", r2, data2)
+	go send("g1", s1, data1)
+	go send("g2", s2, data2)
+	wg.Wait()
+}
+
+// TestSessionPortConflictAndClosed covers the demux binding errors.
+func TestSessionPortConflictAndClosed(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{})
+	ep := hub.Endpoint()
+	if _, err := sess.OpenSender(ep, sender.Config{LocalPort: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.OpenReceiver(ep, receiver.Config{LocalPort: 9}); err != ErrPortInUse {
+		t.Errorf("duplicate port bind = %v, want ErrPortInUse", err)
+	}
+	// Different port on the same transport is fine.
+	if _, err := sess.OpenReceiver(ep, receiver.Config{LocalPort: 10}); err != nil {
+		t.Errorf("second port bind: %v", err)
+	}
+	sess.Abort()
+	if _, err := sess.OpenSender(hub.Endpoint(), sender.Config{}); err != ErrClosed {
+		t.Errorf("open after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSenderFlowAbortUnblocksWrite mirrors the core-level guarantee at
+// the session layer.
+func TestSenderFlowAbortUnblocksWrite(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{})
+	defer sess.Abort()
+	sf, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+		SndBuf: 16 << 10, ExpectedReceivers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sf.Write(make([]byte, 1<<20))
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	sf.Abort()
+	select {
+	case err := <-errCh:
+		if err != ErrAborted {
+			t.Errorf("blocked Write returned %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not unblock Write")
+	}
+}
+
+// TestFlowDetachFreesPort verifies Detach unbinds the demux slot so
+// the port can be reused, and drops the flow from snapshots.
+func TestFlowDetachFreesPort(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{})
+	defer sess.Abort()
+	ep := hub.Endpoint()
+	sf, err := sess.OpenSender(ep, sender.Config{LocalPort: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Abort()
+	sf.Detach()
+	if n := len(sess.Snapshot().Flows); n != 0 {
+		t.Errorf("snapshot has %d flows after Detach, want 0", n)
+	}
+	if _, err := sess.OpenSender(ep, sender.Config{LocalPort: 5}); err != nil {
+		t.Errorf("rebind after Detach: %v", err)
+	}
+}

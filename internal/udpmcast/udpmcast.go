@@ -23,6 +23,11 @@ import (
 // maxDatagram bounds received packet size (MSS + header with slack).
 const maxDatagram = 64 << 10
 
+// peerIDBase is the first node ID handed to a learned peer address.
+// Port-derived local IDs occupy [0, 65535]; keeping assigned peer IDs
+// above this base keeps the two spaces disjoint.
+const peerIDBase packet.NodeID = 1 << 20
+
 // SenderTransport is the sender-side UDP endpoint.
 type SenderTransport struct {
 	conn  *net.UDPConn
@@ -86,7 +91,7 @@ func NewSenderTransport(group string, opts ...SenderOption) (*SenderTransport, e
 		group: gaddr,
 		ids:   make(map[string]packet.NodeID),
 		addrs: make(map[packet.NodeID]*net.UDPAddr),
-		next:  1,
+		next:  peerIDBase,
 	}
 	for _, o := range opts {
 		if err := o(t); err != nil {
@@ -97,8 +102,14 @@ func NewSenderTransport(group string, opts ...SenderOption) (*SenderTransport, e
 	return t, nil
 }
 
-// Local implements transport.Transport; the sender is node 0.
-func (t *SenderTransport) Local() packet.NodeID { return 0 }
+// Local implements transport.Transport. Like ReceiverTransport, the
+// node ID derives from the unicast socket's port, so sender and
+// receiver flows hosted in one session share a node-ID space under the
+// port demultiplexer. Peer IDs assigned by Recv live above peerIDBase
+// and can never collide with a port-derived local ID.
+func (t *SenderTransport) Local() packet.NodeID {
+	return packet.NodeID(t.conn.LocalAddr().(*net.UDPAddr).Port)
+}
 
 // Addr returns the sender's unicast socket address.
 func (t *SenderTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
