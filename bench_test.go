@@ -101,9 +101,12 @@ func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16", "val") }
 // a function of concurrent flow count: N sender flows, each with one
 // receiver, multiplexed over one internal/session tick loop and one
 // in-memory hub. Reported MB/s is aggregate across all flows; the
-// interesting series is how it scales (or doesn't) with flows=1→8.
+// interesting series is how it scales (or doesn't) with flows=1→64.
+// The wide end (16–64) exercises the batched tick path, where the
+// driver takes each flow's lock once per tick for governor bookkeeping,
+// machine tick, and demand sampling combined.
 func BenchmarkSessionMultiplex(b *testing.B) {
-	for _, flows := range []int{1, 2, 4, 8} {
+	for _, flows := range []int{1, 2, 4, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
 			const size = 256 << 10
 			b.SetBytes(int64(flows) * size)

@@ -4,81 +4,73 @@
 // (one 10 ms tick loop, one receive loop per UDP socket, an optional
 // aggregate bandwidth budget shared fairly among the sending flows).
 //
-// Configuration is a JSON file; print a commented starting point with:
+// Flows are admitted through the internal/control plane. The JSON
+// config file is only the initial state; with -listen (or "listen" in
+// the config) the same control plane is served over HTTP, and flows
+// can be admitted, observed, tuned, drained, and closed at runtime:
 //
 //	hrmcd -example > hrmcd.json
-//	hrmcd -config hrmcd.json
+//	hrmcd -config hrmcd.json -listen 127.0.0.1:8383
+//	curl http://127.0.0.1:8383/v1/status
+//	curl -X POST http://127.0.0.1:8383/v1/flows -d \
+//	  '{"name":"dist-c","group":"239.66.66.68:11999","role":"send","size":1048576,"receivers":1}'
+//	curl -X DELETE 'http://127.0.0.1:8383/v1/flows/3?mode=drain'
+//	curl -X POST http://127.0.0.1:8383/v1/shutdown
 //
-// The daemon exits once every configured transfer completes (senders
-// drain to all receivers, receivers read their streams to EOF). On
-// SIGINT/SIGTERM it aborts the session and exits non-zero.
+// -listen also accepts unix sockets as "unix:/path/to.sock".
+//
+// Without a listener the daemon exits once every configured transfer
+// completes, as before. With one it keeps serving until a shutdown is
+// requested (SIGINT/SIGTERM or POST /v1/shutdown), then drains every
+// flow and exits; a second signal aborts immediately.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/receiver"
-	"repro/internal/sender"
+	"repro/internal/control"
 	"repro/internal/session"
 	"repro/internal/transport"
 	"repro/internal/udpmcast"
 )
 
-// Config is the daemon's JSON configuration.
+// Config is the daemon's JSON configuration — the initial control-plane
+// state.
 type Config struct {
 	// TickMS is the shared driver tick in milliseconds (default 10,
 	// one kernel jiffy).
 	TickMS int `json:"tick_ms"`
 	// BudgetMbps, when positive, caps the aggregate send rate of all
-	// sending groups, in megabits/second; the fair-share governor
-	// splits it by weight.
+	// sending groups, in megabits/second; the demand-aware fair-share
+	// governor splits it by weight. PATCH /v1/governor adjusts it at
+	// runtime.
 	BudgetMbps float64 `json:"budget_mbps"`
 	// StatsEverySec prints a session snapshot line at this period
 	// (default 5; 0 disables).
 	StatsEverySec int `json:"stats_every_sec"`
 	// Loopback pins multicast egress to 127.0.0.1 for same-host demos.
 	Loopback bool `json:"loopback"`
-	// Groups lists the transfers the daemon serves.
-	Groups []GroupConfig `json:"groups"`
-}
-
-// GroupConfig describes one flow the daemon hosts.
-type GroupConfig struct {
-	// Name labels the flow in stats output.
-	Name string `json:"name"`
-	// Group is the multicast group address, e.g. "239.66.66.66:9999".
-	// Give each distinct group its own UDP port: Linux delivers
-	// multicast for same-port sockets in one SO_REUSEPORT group to a
-	// single hash-chosen socket, which strands the other groups.
-	Group string `json:"group"`
-	// Role is "send" or "recv".
-	Role string `json:"role"`
-	// File is the input path for send roles (empty: Size generated
-	// bytes) and the output path for recv roles (empty: discard).
-	File string `json:"file,omitempty"`
-	// Size is the generated byte count for file-less send roles.
-	Size int64 `json:"size,omitempty"`
-	// Receivers is how many receivers must join before a sender
-	// releases buffered data.
-	Receivers int `json:"receivers,omitempty"`
-	// Weight is the flow's fair share under the budget (default 1).
-	Weight float64 `json:"weight,omitempty"`
-	// LocalPort/PeerPort are the H-RMC header ports; zero derives a
-	// unique pair from the group's position, so two entries can even
-	// share one multicast address.
-	LocalPort uint16 `json:"local_port,omitempty"`
-	PeerPort  uint16 `json:"peer_port,omitempty"`
-	// Buf is the kernel-buffer analogue in bytes (default 512 KiB).
-	Buf int `json:"buf,omitempty"`
+	// Listen, when set, serves the control-plane HTTP API on this
+	// address ("host:port" or "unix:/path"); the -listen flag
+	// overrides it.
+	Listen string `json:"listen,omitempty"`
+	// Groups lists the flows admitted at startup. Each distinct group
+	// needs its own UDP port: Linux delivers multicast for same-port
+	// sockets in one SO_REUSEPORT group to a single hash-chosen
+	// socket, which strands the other groups.
+	Groups []control.FlowSpec `json:"groups"`
 }
 
 const exampleConfig = `{
@@ -86,6 +78,7 @@ const exampleConfig = `{
   "budget_mbps": 50,
   "stats_every_sec": 5,
   "loopback": true,
+  "listen": "127.0.0.1:8383",
   "groups": [
     {"name": "dist-a", "group": "239.66.66.66:9999", "role": "send",
      "file": "/etc/hostname", "receivers": 1, "weight": 2},
@@ -100,6 +93,7 @@ const exampleConfig = `{
 func main() {
 	var (
 		cfgPath = flag.String("config", "", "JSON config file (see -example)")
+		listen  = flag.String("listen", "", `control API address ("host:port" or "unix:/path"); overrides the config`)
 		example = flag.Bool("example", false, "print an example config and exit")
 	)
 	flag.Parse()
@@ -107,14 +101,17 @@ func main() {
 		fmt.Print(exampleConfig)
 		return
 	}
-	if *cfgPath == "" {
-		fmt.Fprintln(os.Stderr, "hrmcd: -config is required (try -example)")
-		os.Exit(2)
-	}
 	cfg, err := loadConfig(*cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hrmcd: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+	}
+	if len(cfg.Groups) == 0 && cfg.Listen == "" {
+		fmt.Fprintln(os.Stderr, "hrmcd: nothing to do: no groups configured and no -listen address (try -example)")
+		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hrmcd: %v\n", err)
@@ -123,47 +120,43 @@ func main() {
 }
 
 func loadConfig(path string) (*Config, error) {
+	cfg := &Config{TickMS: 10, StatsEverySec: 5}
+	if path == "" {
+		return cfg, nil
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	cfg := &Config{TickMS: 10, StatsEverySec: 5}
 	if err := json.Unmarshal(raw, cfg); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(cfg.Groups) == 0 {
-		return nil, fmt.Errorf("%s: no groups configured", path)
-	}
-	// Default port pairs are keyed by group address, so a send entry and
-	// the recv entries for the same group land on matching ports without
-	// any configuration: the sender's local (feedback) port is the
-	// receivers' peer port and vice versa.
-	portBase := make(map[string]uint16)
-	for i := range cfg.Groups {
-		g := &cfg.Groups[i]
-		if g.Name == "" {
-			g.Name = fmt.Sprintf("group%d", i)
-		}
-		if g.Role != "send" && g.Role != "recv" {
-			return nil, fmt.Errorf("group %q: role must be \"send\" or \"recv\"", g.Name)
-		}
-		if g.Buf <= 0 {
-			g.Buf = 512 << 10
-		}
-		if g.LocalPort == 0 && g.PeerPort == 0 {
-			base, ok := portBase[g.Group]
-			if !ok {
-				base = uint16(2*len(portBase) + 1)
-				portBase[g.Group] = base
-			}
-			if g.Role == "send" {
-				g.LocalPort, g.PeerPort = base, base+1
-			} else {
-				g.LocalPort, g.PeerPort = base+1, base
-			}
-		}
-	}
+	control.AssignPorts(cfg.Groups)
 	return cfg, nil
+}
+
+// mcastDialer creates one UDP-multicast socket per admitted flow.
+type mcastDialer struct {
+	loopback bool
+}
+
+func (d mcastDialer) Dial(spec control.FlowSpec) (transport.Transport, error) {
+	if spec.Role == control.RoleSend {
+		var opts []udpmcast.SenderOption
+		if d.loopback {
+			opts = append(opts, udpmcast.WithEgressIP(net.IPv4(127, 0, 0, 1)))
+		}
+		return udpmcast.NewSenderTransport(spec.Group, opts...)
+	}
+	var ifi *net.Interface
+	if d.loopback {
+		lo, err := net.InterfaceByName("lo")
+		if err != nil {
+			return nil, fmt.Errorf("loopback configured but no lo interface: %w", err)
+		}
+		ifi = lo
+	}
+	return udpmcast.NewReceiverTransport(spec.Group, ifi)
 }
 
 func run(cfg *Config) error {
@@ -171,37 +164,64 @@ func run(cfg *Config) error {
 		TickInterval: time.Duration(cfg.TickMS) * time.Millisecond,
 		Budget:       cfg.BudgetMbps * 1e6 / 8,
 	})
+	mgr := control.NewManager(control.ManagerConfig{
+		Session: sess,
+		Dialer:  mcastDialer{loopback: cfg.Loopback},
+		Logf: func(format string, args ...any) {
+			fmt.Printf("hrmcd: "+format+"\n", args...)
+		},
+	})
 
-	sig := make(chan os.Signal, 1)
+	// shutdownCh fires once on the first shutdown request (signal or
+	// POST /v1/shutdown); a second signal aborts outright.
+	shutdownCh := make(chan struct{}, 1)
+	requestShutdown := func() {
+		select {
+		case shutdownCh <- struct{}{}:
+		default:
+		}
+	}
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
+		fmt.Fprintf(os.Stderr, "hrmcd: %v — draining (signal again to abort)\n", s)
+		requestShutdown()
+		s = <-sig
 		fmt.Fprintf(os.Stderr, "hrmcd: %v — aborting\n", s)
 		sess.Abort()
 		os.Exit(1)
 	}()
 
-	var wg sync.WaitGroup
-	errs := make(chan error, len(cfg.Groups))
-	for i := range cfg.Groups {
-		g := cfg.Groups[i]
-		wg.Add(1)
+	var httpSrv *http.Server
+	if cfg.Listen != "" {
+		ln, err := listenControl(cfg.Listen)
+		if err != nil {
+			sess.Abort()
+			return err
+		}
+		httpSrv = &http.Server{Handler: control.NewServer(mgr, requestShutdown).Handler()}
 		go func() {
-			defer wg.Done()
-			var err error
-			if g.Role == "send" {
-				err = serveSend(sess, cfg, g)
-			} else {
-				err = serveRecv(sess, cfg, g)
-			}
-			if err != nil {
-				errs <- fmt.Errorf("%s: %w", g.Name, err)
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "hrmcd: control API: %v\n", err)
 			}
 		}()
+		fmt.Printf("hrmcd: control API on %s\n", cfg.Listen)
 	}
 
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
+	// The config file is just the first batch of admissions.
+	for _, spec := range cfg.Groups {
+		if _, err := mgr.Admit(spec); err != nil {
+			sess.Abort()
+			return fmt.Errorf("admit %s: %w", spec.Name, err)
+		}
+	}
+
+	// Without a listener the daemon is a batch job: done when the
+	// configured transfers are. With one, it runs until told to stop.
+	initialDone := make(chan struct{})
+	go func() { mgr.Wait(); close(initialDone) }()
+
 	var ticker *time.Ticker
 	if cfg.StatsEverySec > 0 {
 		ticker = time.NewTicker(time.Duration(cfg.StatsEverySec) * time.Second)
@@ -213,109 +233,62 @@ func run(cfg *Config) error {
 		if ticker != nil {
 			tick = ticker.C
 		}
+		var batchDone <-chan struct{}
+		if cfg.Listen == "" {
+			batchDone = initialDone
+		}
 		select {
 		case <-tick:
 			printSnapshot(os.Stdout, start, sess.Snapshot())
-		case <-done:
-			printSnapshot(os.Stdout, start, sess.Snapshot())
-			close(errs)
-			var firstErr error
-			for err := range errs {
-				if firstErr == nil {
-					firstErr = err // main prints this one
-					continue
-				}
-				fmt.Fprintf(os.Stderr, "hrmcd: %v\n", err)
+		case <-batchDone:
+			return finish(cfg, sess, mgr, httpSrv, start)
+		case <-shutdownCh:
+			fmt.Println("hrmcd: shutdown requested — draining flows")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := mgr.Shutdown(ctx)
+			cancel()
+			if ferr := finish(cfg, sess, mgr, httpSrv, start); err == nil {
+				err = ferr
 			}
-			if err := sess.Close(); err != nil && firstErr == nil {
+			return err
+		}
+	}
+}
+
+// finish prints the last snapshot, reports failed flows, and closes the
+// control listener and the session.
+func finish(cfg *Config, sess *session.Session, mgr *control.Manager, httpSrv *http.Server, start time.Time) error {
+	printSnapshot(os.Stdout, start, sess.Snapshot())
+	var firstErr error
+	for _, fs := range mgr.List() {
+		if fs.State == control.StateFailed {
+			err := fmt.Errorf("%s: %s", fs.Name, fs.Error)
+			if firstErr == nil {
 				firstErr = err
+				continue
 			}
-			return firstErr
+			fmt.Fprintf(os.Stderr, "hrmcd: %v\n", err)
 		}
 	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	if err := sess.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// serveSend streams a file (or generated bytes) on one sending flow
-// and blocks until every receiver holds it.
-func serveSend(sess *session.Session, cfg *Config, g GroupConfig) error {
-	var opts []udpmcast.SenderOption
-	if cfg.Loopback {
-		opts = append(opts, udpmcast.WithEgressIP(net.IPv4(127, 0, 0, 1)))
+// listenControl opens the control API listener: "unix:/path" or a TCP
+// host:port.
+func listenControl(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		_ = os.Remove(path)
+		return net.Listen("unix", path)
 	}
-	tr, err := udpmcast.NewSenderTransport(g.Group, opts...)
-	if err != nil {
-		return err
-	}
-	var src io.Reader
-	if g.File != "" {
-		f, err := os.Open(g.File)
-		if err != nil {
-			tr.Close()
-			return err
-		}
-		defer f.Close()
-		src = f
-	} else {
-		src = io.LimitReader(patternReader{}, g.Size)
-	}
-	return pump(sess, tr, g, src)
-}
-
-// pump opens the sending flow and copies src into it. Split from
-// serveSend so the transport kind stays pluggable.
-func pump(sess *session.Session, tr transport.Transport, g GroupConfig, src io.Reader) error {
-	flow, err := sess.OpenSender(tr, sender.Config{
-		LocalPort: g.LocalPort, RemotePort: g.PeerPort,
-		SndBuf: g.Buf, ExpectedReceivers: g.Receivers,
-	}, session.WithLabel(g.Name), session.WithWeight(g.Weight))
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(writerOnly{flow}, src); err != nil {
-		flow.Abort()
-		return err
-	}
-	return flow.Close()
-}
-
-// serveRecv joins a group on one receiving flow and copies the stream
-// to the configured file (or discards it).
-func serveRecv(sess *session.Session, cfg *Config, g GroupConfig) error {
-	var ifi *net.Interface
-	if cfg.Loopback {
-		lo, err := net.InterfaceByName("lo")
-		if err != nil {
-			return fmt.Errorf("loopback configured but no lo interface: %w", err)
-		}
-		ifi = lo
-	}
-	tr, err := udpmcast.NewReceiverTransport(g.Group, ifi)
-	if err != nil {
-		return err
-	}
-	flow, err := sess.OpenReceiver(tr, receiver.Config{
-		LocalPort: g.LocalPort, RemotePort: g.PeerPort, RcvBuf: g.Buf,
-	}, session.WithLabel(g.Name))
-	if err != nil {
-		tr.Close()
-		return err
-	}
-	var dst io.Writer = io.Discard
-	if g.File != "" {
-		f, err := os.Create(g.File)
-		if err != nil {
-			flow.Close()
-			return err
-		}
-		defer f.Close()
-		dst = f
-	}
-	n, err := io.Copy(dst, flow)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("hrmcd: %s: received %d bytes\n", g.Name, n)
-	return nil
+	return net.Listen("tcp", addr)
 }
 
 // printSnapshot renders one status line per flow plus the aggregate.
@@ -324,9 +297,10 @@ func printSnapshot(w io.Writer, start time.Time, snap session.Snapshot) {
 	for _, f := range snap.Flows {
 		switch {
 		case f.Sender != nil:
-			fmt.Fprintf(w, "hrmcd: [%v] %s (%s :%d) sent=%dB retrans=%d naks=%d done=%v\n",
+			fmt.Fprintf(w, "hrmcd: [%v] %s (%s :%d) sent=%dB retrans=%d naks=%d rate=%dB/s ceil=%dB/s done=%v\n",
 				el, f.Label, f.Kind, f.Port,
-				f.Sender.BytesSent, f.Sender.Retransmissions, f.Sender.NaksReceived, f.Done)
+				f.Sender.BytesSent, f.Sender.Retransmissions, f.Sender.NaksReceived,
+				f.Sender.RateBps, f.Sender.CeilingBps, f.Done)
 		case f.Receiver != nil:
 			fmt.Fprintf(w, "hrmcd: [%v] %s (%s :%d) delivered=%dB naks=%d updates=%d done=%v\n",
 				el, f.Label, f.Kind, f.Port,
@@ -334,23 +308,7 @@ func printSnapshot(w io.Writer, start time.Time, snap session.Snapshot) {
 		}
 	}
 	t := snap.Total
-	fmt.Fprintf(w, "hrmcd: [%v] total %d senders %d receivers sent=%dB retrans=%d delivered=%dB\n",
+	fmt.Fprintf(w, "hrmcd: [%v] total %d senders %d receivers sent=%dB retrans=%d delivered=%dB rate=%dB/s\n",
 		el, t.SenderFlows, t.ReceiverFlows,
-		t.Sender.BytesSent, t.Sender.Retransmissions, t.Receiver.BytesDelivered)
-}
-
-// writerOnly hides the flow's other methods from io.Copy so it cannot
-// shortcut through ReadFrom.
-type writerOnly struct{ w io.Writer }
-
-func (w writerOnly) Write(p []byte) (int, error) { return w.w.Write(p) }
-
-// patternReader yields a repeating byte pattern for file-less sends.
-type patternReader struct{}
-
-func (patternReader) Read(p []byte) (int, error) {
-	for i := range p {
-		p[i] = byte(i*31 + 7)
-	}
-	return len(p), nil
+		t.Sender.BytesSent, t.Sender.Retransmissions, t.Receiver.BytesDelivered, t.Sender.RateBps)
 }

@@ -1,0 +1,133 @@
+// Prometheus-style text rendering of the session's snapshots. Metric
+// names are derived from the stats struct fields by reflection, so new
+// counters added to internal/stats surface here without further
+// plumbing: stats.Sender.PacketsSent becomes
+// hrmc_sender_packets_sent{flow=…,id=…}, aggregate totals become
+// hrmc_total_sender_packets_sent, and the same for receiver fields.
+package control
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// gaugeFields are stats fields exposed as gauges; everything else is a
+// monotonic counter.
+var gaugeFields = map[string]bool{
+	"RateBps":         true,
+	"CeilingBps":      true,
+	"MaxFillPermille": true,
+}
+
+// snakeCase converts a Go field name (PacketsSent, RateBps) to a
+// metric suffix (packets_sent, rate_bps).
+func snakeCase(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// metricLine is one sample, grouped by name so each metric's # TYPE
+// header is emitted once.
+type metricLine struct {
+	name   string
+	labels string
+	value  float64
+	gauge  bool
+}
+
+// statLines renders every int64 field of a stats struct (passed by
+// pointer) under prefix with the given label set.
+func statLines(prefix, labels string, stat any) []metricLine {
+	v := reflect.ValueOf(stat).Elem()
+	t := v.Type()
+	var out []metricLine
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Int64 {
+			continue
+		}
+		out = append(out, metricLine{
+			name:   prefix + snakeCase(t.Field(i).Name),
+			labels: labels,
+			value:  float64(v.Field(i).Int()),
+			gauge:  gaugeFields[t.Field(i).Name],
+		})
+	}
+	return out
+}
+
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+	sess := s.mgr.Session()
+	flows := s.mgr.List()
+
+	var lines []metricLine
+	add := func(name string, value float64, gauge bool, labels string) {
+		lines = append(lines, metricLine{name: name, labels: labels, value: value, gauge: gauge})
+	}
+	add("hrmc_session_budget_bytes_per_second", sess.Budget(), true, "")
+	add("hrmc_session_flows", float64(len(flows)), true, "")
+
+	agg := s.mgr.Aggregate()
+	add("hrmc_total_sender_flows", float64(agg.SenderFlows), true, "")
+	add("hrmc_total_receiver_flows", float64(agg.ReceiverFlows), true, "")
+	lines = append(lines, statLines("hrmc_total_sender_", "", &agg.Sender)...)
+	lines = append(lines, statLines("hrmc_total_receiver_", "", &agg.Receiver)...)
+
+	for _, fs := range flows {
+		labels := fmt.Sprintf(`flow=%q,id="%d",group=%q`,
+			escapeLabel(fs.Name), fs.ID, escapeLabel(fs.Group))
+		state := 0.0
+		if fs.Done {
+			state = 1
+		}
+		add("hrmc_flow_done", state, true, labels)
+		add("hrmc_flow_bytes_copied", float64(fs.BytesCopied), false, labels)
+		if fs.Sender != nil {
+			add("hrmc_flow_weight", fs.Weight, true, labels)
+			lines = append(lines, statLines("hrmc_sender_", labels, fs.Sender)...)
+		}
+		if fs.Receiver != nil {
+			lines = append(lines, statLines("hrmc_receiver_", labels, fs.Receiver)...)
+		}
+	}
+
+	// Group samples by metric name (stable order) under one TYPE header.
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	var b strings.Builder
+	prev := ""
+	for _, l := range lines {
+		if l.name != prev {
+			kind := "counter"
+			if l.gauge {
+				kind = "gauge"
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", l.name, kind)
+			prev = l.name
+		}
+		if l.labels == "" {
+			fmt.Fprintf(&b, "%s %v\n", l.name, l.value)
+		} else {
+			fmt.Fprintf(&b, "%s{%s} %v\n", l.name, l.labels, l.value)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,273 @@
+// The HTTP face of the control plane: a JSON API over any listener —
+// the daemon serves it on a TCP or unix socket — mapping the Manager's
+// operations onto RESTish routes:
+//
+//	GET    /v1/status          session overview: uptime, budget, totals, flows
+//	GET    /v1/flows           list flow statuses
+//	POST   /v1/flows           admit a flow (body: FlowSpec JSON)
+//	GET    /v1/flows/{id}      one flow's status
+//	PATCH  /v1/flows/{id}      tune a flow (body: {"weight":…, "ceiling_bps":…})
+//	DELETE /v1/flows/{id}      ?mode=drain (default) | abort | forget
+//	GET    /v1/governor        current budget
+//	PATCH  /v1/governor        set budget (body: {"budget_bps":…})
+//	GET    /metrics            Prometheus-style text metrics
+//	POST   /v1/shutdown        ask the daemon to drain everything and exit
+//
+// Errors are JSON {"error": "..."} with conventional status codes.
+package control
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/stats"
+)
+
+// Server mounts a Manager behind an http.Handler.
+type Server struct {
+	mgr   *Manager
+	start time.Time
+	// shutdown, when non-nil, is invoked (once, asynchronously) by
+	// POST /v1/shutdown; the daemon wires it to its exit path.
+	shutdown func()
+}
+
+// NewServer wraps mgr. shutdown may be nil, disabling /v1/shutdown.
+func NewServer(mgr *Manager, shutdown func()) *Server {
+	return &Server{mgr: mgr, start: time.Now(), shutdown: shutdown}
+}
+
+// Handler returns the control-plane API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.getStatus)
+	mux.HandleFunc("GET /v1/flows", s.getFlows)
+	mux.HandleFunc("POST /v1/flows", s.postFlows)
+	mux.HandleFunc("GET /v1/flows/{id}", s.getFlow)
+	mux.HandleFunc("PATCH /v1/flows/{id}", s.patchFlow)
+	mux.HandleFunc("DELETE /v1/flows/{id}", s.deleteFlow)
+	mux.HandleFunc("GET /v1/governor", s.getGovernor)
+	mux.HandleFunc("PATCH /v1/governor", s.patchGovernor)
+	mux.HandleFunc("GET /metrics", s.getMetrics)
+	mux.HandleFunc("POST /v1/shutdown", s.postShutdown)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errCode maps manager errors onto HTTP statuses.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownFlow):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotTerminal):
+		return http.StatusConflict
+	case errors.Is(err, ErrManagerClosed), errors.Is(err, session.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, session.ErrPortInUse):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) flowID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad flow id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+// StatusReply is the GET /v1/status JSON shape.
+type StatusReply struct {
+	UptimeSec float64         `json:"uptime_sec"`
+	BudgetBps float64         `json:"budget_bps"`
+	Flows     []FlowStatus    `json:"flows"`
+	Total     stats.Aggregate `json:"total"`
+}
+
+func (s *Server) getStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatusReply{
+		UptimeSec: time.Since(s.start).Seconds(),
+		BudgetBps: s.mgr.Session().Budget(),
+		Flows:     s.mgr.List(),
+		Total:     s.mgr.Aggregate(),
+	})
+}
+
+func (s *Server) getFlows(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) postFlows(w http.ResponseWriter, r *http.Request) {
+	var spec FlowSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse flow spec: %w", err))
+		return
+	}
+	fs, err := s.mgr.Admit(spec)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, fs)
+}
+
+func (s *Server) getFlow(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.flowID(w, r)
+	if !ok {
+		return
+	}
+	fs, err := s.mgr.Status(id)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+// FlowPatch is the PATCH /v1/flows/{id} JSON body; zero fields are
+// left untouched.
+type FlowPatch struct {
+	Weight     float64 `json:"weight,omitempty"`
+	CeilingBps float64 `json:"ceiling_bps,omitempty"`
+}
+
+func (s *Server) patchFlow(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.flowID(w, r)
+	if !ok {
+		return
+	}
+	var p FlowPatch
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse flow patch: %w", err))
+		return
+	}
+	if p.Weight == 0 && p.CeilingBps == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("nothing to patch: set weight and/or ceiling_bps"))
+		return
+	}
+	if p.Weight != 0 {
+		if err := s.mgr.SetWeight(id, p.Weight); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+	}
+	if p.CeilingBps != 0 {
+		if err := s.mgr.SetCeiling(id, p.CeilingBps); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+	}
+	fs, err := s.mgr.Status(id)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+func (s *Server) deleteFlow(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.flowID(w, r)
+	if !ok {
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "drain"
+	}
+	var err error
+	switch mode {
+	case "drain":
+		err = s.mgr.Drain(r.Context(), id)
+	case "abort":
+		err = s.mgr.Abort(id)
+	case "forget":
+		err = s.mgr.Forget(id)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad mode %q: want drain, abort, or forget", mode))
+		return
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The client gave up before the drain finished; the drain keeps
+		// going in the background.
+		writeErr(w, http.StatusAccepted, fmt.Errorf("drain still in progress: %w", err))
+		return
+	}
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	if mode == "forget" {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "forgotten"})
+		return
+	}
+	fs, err := s.mgr.Status(id)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+// GovernorReply is the GET/PATCH /v1/governor JSON shape.
+type GovernorReply struct {
+	BudgetBps float64 `json:"budget_bps"`
+}
+
+func (s *Server) getGovernor(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, GovernorReply{BudgetBps: s.mgr.Session().Budget()})
+}
+
+// GovernorPatch is the PATCH /v1/governor body. BudgetBps zero
+// disables the governor (flows revert to their own ceilings).
+type GovernorPatch struct {
+	BudgetBps *float64 `json:"budget_bps"`
+}
+
+func (s *Server) patchGovernor(w http.ResponseWriter, r *http.Request) {
+	var p GovernorPatch
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse governor patch: %w", err))
+		return
+	}
+	if p.BudgetBps == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("budget_bps is required"))
+		return
+	}
+	s.mgr.Session().SetBudget(*p.BudgetBps)
+	s.getGovernor(w, r)
+}
+
+func (s *Server) postShutdown(w http.ResponseWriter, r *http.Request) {
+	if s.shutdown == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("shutdown is not wired on this server"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "shutting down"})
+	go s.shutdown()
+}

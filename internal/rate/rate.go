@@ -138,6 +138,9 @@ func (c *Controller) maybeResume(now sim.Time) {
 // Ceiling returns the current MaxRate ceiling in bytes/second.
 func (c *Controller) Ceiling() float64 { return c.cfg.MaxRate }
 
+// MinRate returns the configured rate floor in bytes/second.
+func (c *Controller) MinRate() float64 { return c.cfg.MinRate }
+
 // SetCeiling re-points the MaxRate ceiling at runtime; a session's
 // fair-share governor uses it to apportion one line rate among many
 // concurrent flows. The ceiling is floored at MinRate (the

@@ -229,6 +229,10 @@ func (s *Sender) Rate(now sim.Time) float64 { return s.rc.Rate(now) }
 // MaxRate returns the current flow-control ceiling in bytes/second.
 func (s *Sender) MaxRate() float64 { return s.rc.Ceiling() }
 
+// MinRate returns the rate-control floor in bytes/second — the
+// one-packet-per-jiffy pacing minimum the flow cannot go below.
+func (s *Sender) MinRate() float64 { return s.rc.MinRate() }
+
 // SetMaxRate adjusts the flow-control ceiling at runtime. The session
 // layer's fair-share governor calls this every tick to keep the
 // aggregate rate of all flows sharing a line under a global budget; the
@@ -546,6 +550,11 @@ func (s *Sender) Tick(now sim.Time) {
 	} else if s.needsKeepalive(now) {
 		s.runKeepalive(now)
 	}
+
+	// Flow-control gauges for observers (session snapshots, control
+	// plane): the rate actually being paced and its current ceiling.
+	s.st.RateBps = int64(s.rc.Rate(now))
+	s.st.CeilingBps = int64(s.rc.Ceiling())
 }
 
 // retransmit services the retransmission request list, multicasting the

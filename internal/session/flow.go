@@ -1,6 +1,7 @@
 package session
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/packet"
@@ -114,14 +115,64 @@ func (f *flow) Port() uint16 { return f.port }
 type SenderFlow struct {
 	flow
 	m *sender.Sender
+
+	// governed marks that the session governor owns the rate ceiling;
+	// capCeiling is the flow's own configured ceiling (SetCeiling at
+	// runtime, else the open-time rate config), which bounds the flow
+	// even under a larger governor share.
+	governed   bool
+	capCeiling float64
 }
 
 func (f *SenderFlow) tick(now sim.Time) {
+	f.tickSender(now, 0, false, false)
+}
+
+// govHeadroom is the growth room the governor leaves a flow pacing
+// below its ceiling: the ceiling tracks twice the current rate — one
+// slow-start doubling ahead — so ramp-up is never throttled, while the
+// rest of the flow's unused share is donated to still-hungry flows.
+const govHeadroom = 2
+
+// tickSender runs one governor-aware tick under a single lock
+// acquisition: apply the share the governor computed last tick, tick
+// the protocol machine, and sample the demand report for the next
+// allocation. It returns the flow's share request and whether the flow
+// still participates in the budget.
+func (f *SenderFlow) tickSender(now sim.Time, share float64, haveShare, governed bool) (shareReq, bool) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case governed && haveShare && share > 0:
+		if f.capCeiling > 0 && share > f.capCeiling {
+			share = f.capCeiling
+		}
+		f.m.SetMaxRate(share)
+		f.governed = true
+	case !governed && f.governed:
+		f.m.SetMaxRate(f.capCeiling)
+		f.governed = false
+	}
 	f.m.Tick(now)
 	f.flushLocked()
 	f.cond.Broadcast()
-	f.mu.Unlock()
+	if !governed || f.err != nil || f.m.Done() {
+		return shareReq{}, false
+	}
+	rate := f.m.Rate(now)
+	ceil := f.m.MaxRate()
+	demand := govHeadroom * rate
+	if rate >= 0.95*ceil {
+		// Pacing at the ceiling: appetite unknown, stay hungry.
+		demand = math.Inf(1)
+	}
+	if min := f.m.MinRate(); demand < min {
+		demand = min
+	}
+	if f.capCeiling > 0 && demand > f.capCeiling {
+		demand = f.capCeiling
+	}
+	return shareReq{Weight: f.weight, Demand: demand}, true
 }
 
 func (f *SenderFlow) handle(now sim.Time, from packet.NodeID, p *packet.Packet) {
@@ -138,22 +189,38 @@ func (f *SenderFlow) flushLocked() {
 	}
 }
 
-// activeWeight reports the flow's governor weight while it still
-// participates in the budget (not failed, not fully drained).
-func (f *SenderFlow) activeWeight() (float64, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.err != nil || f.m.Done() {
-		return 0, false
+// SetWeight re-points the flow's fair-share weight under the session
+// budget at runtime; non-positive weights are ignored.
+func (f *SenderFlow) SetWeight(w float64) {
+	if w <= 0 {
+		return
 	}
-	return f.weight, true
+	f.mu.Lock()
+	f.weight = w
+	f.mu.Unlock()
 }
 
-// setCeiling re-points the flow's rate ceiling at its budget share.
-func (f *SenderFlow) setCeiling(bytesPerSec float64) {
+// SetCeiling re-points the flow's own rate ceiling at runtime, in
+// bytes/second. Ungoverned flows apply it directly; under a session
+// budget it caps the flow's governor share and demand, so the flow
+// never paces above it even when the budget would allow more.
+func (f *SenderFlow) SetCeiling(bytesPerSec float64) {
+	if bytesPerSec <= 0 {
+		return
+	}
 	f.mu.Lock()
-	f.m.SetMaxRate(bytesPerSec)
+	f.capCeiling = bytesPerSec
+	if !f.governed {
+		f.m.SetMaxRate(bytesPerSec)
+	}
 	f.mu.Unlock()
+}
+
+// Weight returns the flow's current fair-share weight.
+func (f *SenderFlow) Weight() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.weight
 }
 
 // Write sends b on the multicast stream, blocking while the send
@@ -222,10 +289,11 @@ func (f *SenderFlow) snapshot() FlowSnapshot {
 	f.mu.Lock()
 	cp := f.m.Stats().Snapshot()
 	done := f.m.Done()
+	w := f.weight
 	f.mu.Unlock()
 	return FlowSnapshot{
 		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port,
-		Done: done, Sender: &cp,
+		Weight: w, Done: done, Sender: &cp,
 	}
 }
 

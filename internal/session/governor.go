@@ -1,0 +1,79 @@
+// The fair-share governor's allocation math, kept as a pure function so
+// the redistribution policy is unit-testable without driving live flows.
+//
+// The original governor re-split the budget equally (by weight) every
+// tick regardless of what each flow could actually use; a flow pacing
+// below its ceiling — congestion-cut, urgently stopped, or simply idle —
+// stranded the difference. The demand-aware governor water-fills
+// instead: every flow reports a demand (how many bytes/second it could
+// plausibly use next tick), flows whose weighted share exceeds their
+// demand are capped at the demand, and the slack they donate is
+// re-split among the still-hungry flows, proportional to weight, until
+// no allocation changes.
+package session
+
+import "math"
+
+// shareReq is one governed sender flow's input to the allocator.
+type shareReq struct {
+	// Weight is the flow's fair-share weight (> 0).
+	Weight float64
+	// Demand is the most bandwidth the flow can use next tick, in
+	// bytes/second. math.Inf(1) means "as much as offered" — a flow
+	// pacing at its ceiling whose appetite is unknown.
+	Demand float64
+}
+
+// fairShares apportions budget among the requesting flows by iterative
+// water-filling and returns each flow's allocation in bytes/second,
+// parallel to reqs. Invariants: no flow is allocated more than its
+// demand; the allocations sum to at most budget; slack donated by
+// demand-capped flows is redistributed to uncapped flows proportional
+// to their weights. Flows with non-positive weight get zero.
+func fairShares(budget float64, reqs []shareReq) []float64 {
+	out := make([]float64, len(reqs))
+	if budget <= 0 {
+		return out
+	}
+	unsat := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		if r.Weight > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	remaining := budget
+	for len(unsat) > 0 && remaining > 0 {
+		var totalW float64
+		for _, i := range unsat {
+			totalW += reqs[i].Weight
+		}
+		// Cap every flow whose proportional share covers its demand;
+		// each cap frees slack, so re-run until a full pass caps no one.
+		next := unsat[:0]
+		capped := false
+		for _, i := range unsat {
+			share := remaining * reqs[i].Weight / totalW
+			if !math.IsInf(reqs[i].Demand, 1) && reqs[i].Demand <= share {
+				out[i] = reqs[i].Demand
+				capped = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		var used float64
+		for i := range out {
+			used += out[i]
+		}
+		if !capped {
+			// Everyone left is hungry: split what remains by weight.
+			rem := budget - used
+			for _, i := range unsat {
+				out[i] = rem * reqs[i].Weight / totalW
+			}
+			break
+		}
+		remaining = budget - used
+	}
+	return out
+}

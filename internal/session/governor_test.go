@@ -1,0 +1,94 @@
+package session
+
+import (
+	"math"
+	"testing"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+// almost absorbs float summation noise in share comparisons.
+func almost(got, want float64) bool { return math.Abs(got-want) < 1 }
+
+// TestFairSharesWeighted pins the weighted split with every flow
+// hungry: weights 3:1 under 1 MB/s yield 750/250 KB/s.
+func TestFairSharesWeighted(t *testing.T) {
+	got := fairShares(1e6, []shareReq{{Weight: 3, Demand: inf()}, {Weight: 1, Demand: inf()}})
+	if !almost(got[0], 750e3) || !almost(got[1], 250e3) {
+		t.Errorf("fairShares = %v, want [750000 250000]", got)
+	}
+}
+
+// TestFairSharesRedistribution pins the demand-aware behavior: a flow
+// demanding less than its fair share is capped at the demand and the
+// slack goes to the hungry flow.
+func TestFairSharesRedistribution(t *testing.T) {
+	got := fairShares(1e6, []shareReq{{Weight: 1, Demand: 200e3}, {Weight: 1, Demand: inf()}})
+	if !almost(got[0], 200e3) || !almost(got[1], 800e3) {
+		t.Errorf("fairShares = %v, want [200000 800000]", got)
+	}
+}
+
+// TestFairSharesWaterFill needs two redistribution rounds: capping the
+// 100 KB/s flow lifts the per-flow share past the 500 KB/s flow's
+// demand, whose slack then lands on the unbounded flow.
+func TestFairSharesWaterFill(t *testing.T) {
+	got := fairShares(1.2e6, []shareReq{
+		{Weight: 1, Demand: 100e3},
+		{Weight: 1, Demand: 500e3},
+		{Weight: 1, Demand: inf()},
+	})
+	want := []float64{100e3, 500e3, 600e3}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("fairShares = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairSharesUnderDemand leaves budget on the table when every flow
+// is satisfied: allocations equal demands, not shares.
+func TestFairSharesUnderDemand(t *testing.T) {
+	got := fairShares(1e6, []shareReq{{Weight: 1, Demand: 100e3}, {Weight: 1, Demand: 200e3}})
+	if !almost(got[0], 100e3) || !almost(got[1], 200e3) {
+		t.Errorf("fairShares = %v, want [100000 200000]", got)
+	}
+}
+
+// TestFairSharesEdgeCases covers degenerate inputs: zero budget, no
+// flows, and non-positive weights.
+func TestFairSharesEdgeCases(t *testing.T) {
+	if got := fairShares(0, []shareReq{{Weight: 1, Demand: inf()}}); got[0] != 0 {
+		t.Errorf("zero budget allocated %v", got)
+	}
+	if got := fairShares(1e6, nil); len(got) != 0 {
+		t.Errorf("no flows allocated %v", got)
+	}
+	got := fairShares(1e6, []shareReq{{Weight: 0, Demand: inf()}, {Weight: 1, Demand: inf()}})
+	if got[0] != 0 || !almost(got[1], 1e6) {
+		t.Errorf("zero-weight flow allocated %v", got)
+	}
+}
+
+// TestFairSharesSumWithinBudget fuzzes a few mixed cases and asserts
+// the invariants: sum ≤ budget and no allocation above demand.
+func TestFairSharesSumWithinBudget(t *testing.T) {
+	cases := [][]shareReq{
+		{{Weight: 1, Demand: 50e3}, {Weight: 2, Demand: 300e3}, {Weight: 5, Demand: inf()}},
+		{{Weight: 1, Demand: 10e3}, {Weight: 1, Demand: 10e3}},
+		{{Weight: 4, Demand: inf()}, {Weight: 1, Demand: 999e3}, {Weight: 1, Demand: 1e3}},
+	}
+	for ci, reqs := range cases {
+		got := fairShares(1e6, reqs)
+		var sum float64
+		for i, a := range got {
+			if a > reqs[i].Demand+1 {
+				t.Errorf("case %d flow %d: allocation %.0f exceeds demand %.0f", ci, i, a, reqs[i].Demand)
+			}
+			sum += a
+		}
+		if sum > 1e6+1 {
+			t.Errorf("case %d: allocations sum to %.0f, over the 1e6 budget", ci, sum)
+		}
+	}
+}

@@ -61,11 +61,14 @@ type Config struct {
 	// zero selects DefaultTickInterval.
 	TickInterval time.Duration
 	// Budget, when positive, caps the aggregate send rate across all
-	// sender flows in bytes/second. Every tick the fair-share governor
-	// divides it among the flows still sending, proportional to their
-	// weights (WithWeight). Shares are floored at each flow's
-	// rate-control MinRate — the one-packet-per-jiffy pacing floor —
-	// so a budget below len(flows)*MinRate cannot be fully honored.
+	// sender flows in bytes/second. Every tick the demand-aware
+	// fair-share governor water-fills it among the flows still sending,
+	// proportional to their weights (WithWeight): flows pacing below
+	// their ceiling donate the slack to still-hungry flows. Shares are
+	// floored at each flow's rate-control MinRate — the
+	// one-packet-per-jiffy pacing floor — so a budget below
+	// len(flows)*MinRate cannot be fully honored. SetBudget adjusts the
+	// budget at runtime.
 	Budget float64
 }
 
@@ -80,6 +83,11 @@ type Session struct {
 	flows  []anyFlow
 	nextID int
 	closed bool
+	// shares holds the ceilings the governor computed from the previous
+	// tick's demand reports, applied at the start of the next tick so
+	// governor bookkeeping and the flow machine tick share one lock
+	// acquisition per flow.
+	shares map[*SenderFlow]float64
 
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -120,42 +128,67 @@ func (s *Session) runTicks() {
 	}
 }
 
+// tickAll drives one shared tick. Each flow is locked exactly once: a
+// sender flow's governor share is applied, its machine ticked, and its
+// next-tick demand sampled inside the same critical section (the old
+// governor took three separate per-flow lock acquisitions — weight
+// probe, ceiling store, tick). The shares applied this tick were
+// computed from last tick's demand reports, so the governor lags the
+// flows by one jiffy — well inside the round-trip timescale the rate
+// controllers react on.
 func (s *Session) tickAll() {
 	now := s.now()
 	s.mu.Lock()
 	flows := append([]anyFlow(nil), s.flows...)
+	budget := s.cfg.Budget
+	shares := s.shares
 	s.mu.Unlock()
-	if s.cfg.Budget > 0 {
-		s.rebalance(flows)
-	}
-	for _, f := range flows {
-		f.tick(now)
-	}
-}
 
-// rebalance is the fair-share governor: it splits the budget among the
-// sender flows still transmitting, proportional to their weights, and
-// re-points each flow's rate-control ceiling at its share. Flows that
-// finish or fail release their share to the others on the next tick.
-func (s *Session) rebalance(flows []anyFlow) {
-	var total float64
-	active := make([]*SenderFlow, 0, len(flows))
+	governed := budget > 0
+	var senders []*SenderFlow
+	var reqs []shareReq
 	for _, f := range flows {
 		sf, ok := f.(*SenderFlow)
 		if !ok {
+			f.tick(now)
 			continue
 		}
-		if w, ok := sf.activeWeight(); ok {
-			active = append(active, sf)
-			total += w
+		share, haveShare := shares[sf]
+		req, active := sf.tickSender(now, share, haveShare, governed)
+		if governed && active {
+			senders = append(senders, sf)
+			reqs = append(reqs, req)
 		}
 	}
-	if total <= 0 {
+	if !governed {
 		return
 	}
-	for _, sf := range active {
-		sf.setCeiling(s.cfg.Budget * sf.weight / total)
+	alloc := fairShares(budget, reqs)
+	next := make(map[*SenderFlow]float64, len(senders))
+	for i, sf := range senders {
+		next[sf] = alloc[i]
 	}
+	s.mu.Lock()
+	s.shares = next
+	s.mu.Unlock()
+}
+
+// SetBudget re-points the aggregate bandwidth budget at runtime, in
+// bytes/second. Zero or negative disables the governor: on the next
+// tick every governed flow's ceiling is restored to its own configured
+// (or SetCeiling) value.
+func (s *Session) SetBudget(bytesPerSec float64) {
+	s.mu.Lock()
+	s.cfg.Budget = bytesPerSec
+	s.mu.Unlock()
+}
+
+// Budget returns the current aggregate bandwidth budget in
+// bytes/second (zero when the governor is off).
+func (s *Session) Budget() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Budget
 }
 
 // recvLoop is the per-transport receive driver plus its demultiplexer.
@@ -272,6 +305,7 @@ func (s *Session) detach(f anyFlow) {
 // RemotePort.
 func (s *Session) OpenSender(tr transport.Transport, cfg sender.Config, opts ...FlowOption) (*SenderFlow, error) {
 	f := &SenderFlow{m: sender.New(cfg)}
+	f.capCeiling = f.m.MaxRate()
 	f.init(s, KindSender, tr, cfg.LocalPort, opts)
 	if err := s.attach(f); err != nil {
 		return nil, err
@@ -301,6 +335,9 @@ type FlowSnapshot struct {
 	Label string
 	Kind  Kind
 	Port  uint16
+	// Weight is the flow's fair-share weight under a session budget
+	// (senders only; zero for receivers).
+	Weight float64
 	// Done reports stream completion: for a sender, the stream is
 	// closed and fully released; for a receiver, fully read.
 	Done bool

@@ -183,28 +183,51 @@ func TestSessionBudgetGovernor(t *testing.T) {
 	}
 }
 
-// TestGovernorWeightedShares checks the fair-share math directly: with
-// weights 3 and 1 under a 1 MB/s budget, the governor must point the
-// flows' rate ceilings at 750 and 250 KB/s.
+// ceiling reads a flow's current rate-control ceiling.
+func ceiling(f *SenderFlow) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m.MaxRate()
+}
+
+// govTransfer opens a sender/receiver pair that keeps transferring for
+// the life of the test so the sender stays hungry under the governor.
+// The pump goroutines ignore errors: the caller tears the session down
+// with Abort when its assertion is met.
+func govTransfer(t *testing.T, sess *Session, hub *transport.Hub, g int, size int, opts ...FlowOption) *SenderFlow {
+	t.Helper()
+	sp, rp := groupPorts(g)
+	rf, err := sess.OpenReceiver(hub.Endpoint(), receiver.Config{
+		LocalPort: rp, RemotePort: sp, RcvBuf: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = io.Copy(io.Discard, rf) }()
+	sf, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+		LocalPort: sp, RemotePort: rp, SndBuf: 64 << 10,
+		ExpectedReceivers: 1,
+		Rate:              rate.Config{MinRate: 100e3, MaxRate: 64e6, MSS: 1400},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = sf.Write(make([]byte, size)) }()
+	return sf
+}
+
+// TestGovernorWeightedShares checks the weighted split on live flows:
+// two hungry senders with weights 3 and 1 under a 1 MB/s budget must
+// converge to 750 and 250 KB/s ceilings.
 func TestGovernorWeightedShares(t *testing.T) {
 	hub := transport.NewHub()
 	sess := New(Config{Budget: 1e6})
 	defer sess.Abort()
 
-	a, err := sess.OpenSender(hub.Endpoint(), sender.Config{LocalPort: 1}, WithWeight(3))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := sess.OpenSender(hub.Endpoint(), sender.Config{LocalPort: 2}, WithWeight(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	ceiling := func(f *SenderFlow) float64 {
-		f.mu.Lock()
-		defer f.mu.Unlock()
-		return f.m.MaxRate()
-	}
-	deadline := time.Now().Add(5 * time.Second)
+	a := govTransfer(t, sess, hub, 0, 8<<20, WithWeight(3))
+	b := govTransfer(t, sess, hub, 1, 8<<20, WithWeight(1))
+
+	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		if ceiling(a) == 750e3 && ceiling(b) == 250e3 {
 			return
@@ -212,6 +235,77 @@ func TestGovernorWeightedShares(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("ceilings = %.0f/%.0f, want 750000/250000", ceiling(a), ceiling(b))
+}
+
+// TestGovernorDemandRedistribution pins the demand-aware behavior on
+// live flows: an idle sender pacing at its 100 KB/s floor donates its
+// slack, so the hungry flow's ceiling must climb well past the 500 KB/s
+// equal split toward budget minus the donor's demand.
+func TestGovernorDemandRedistribution(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{Budget: 1e6})
+	defer sess.Abort()
+
+	idle, err := sess.OpenSender(hub.Endpoint(), sender.Config{
+		LocalPort: 1,
+		Rate:      rate.Config{MinRate: 100e3, MaxRate: 64e6, MSS: 1400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hungry := govTransfer(t, sess, hub, 1, 8<<20)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// The idle flow demands at most 2× its 100 KB/s rate, so the
+		// hungry flow's share must reach 1 MB/s − 200 KB/s.
+		if ceiling(hungry) >= 790e3 && ceiling(idle) <= 210e3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("ceilings idle=%.0f hungry=%.0f, want idle ≤ 210000 and hungry ≥ 790000",
+		ceiling(idle), ceiling(hungry))
+}
+
+// TestGovernorRuntimeTuning exercises the control-plane hooks directly:
+// SetBudget re-splits on the fly, SetWeight re-weights a live flow, and
+// SetCeiling caps a flow below its governor share.
+func TestGovernorRuntimeTuning(t *testing.T) {
+	hub := transport.NewHub()
+	sess := New(Config{Budget: 1e6})
+	defer sess.Abort()
+
+	a := govTransfer(t, sess, hub, 0, 8<<20)
+	b := govTransfer(t, sess, hub, 1, 8<<20)
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (ceilings %.0f/%.0f)", what, ceiling(a), ceiling(b))
+	}
+	waitFor("equal split", func() bool { return ceiling(a) == 500e3 && ceiling(b) == 500e3 })
+
+	sess.SetBudget(2e6)
+	if got := sess.Budget(); got != 2e6 {
+		t.Errorf("Budget() = %.0f after SetBudget, want 2000000", got)
+	}
+	waitFor("doubled budget split", func() bool { return ceiling(a) == 1e6 && ceiling(b) == 1e6 })
+
+	a.SetWeight(3)
+	if got := a.Weight(); got != 3 {
+		t.Errorf("Weight() = %v after SetWeight, want 3", got)
+	}
+	waitFor("3:1 split", func() bool { return ceiling(a) == 1.5e6 && ceiling(b) == 500e3 })
+
+	b.SetCeiling(200e3)
+	waitFor("per-flow cap", func() bool { return ceiling(b) <= 200e3 })
 }
 
 // TestSessionDemuxSharedTransport hosts two flows of different groups

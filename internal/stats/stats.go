@@ -26,6 +26,14 @@ type Sender struct {
 	RetransCancelled    int64 // retransmissions cancelled by peer repairs
 	KeepalivesSent      int64
 
+	// RateBps and CeilingBps are flow-control gauges refreshed on every
+	// transmit tick: the current configured transmission rate and the
+	// rate-control ceiling (the session governor's share under a
+	// budget), both in bytes/second. In Aggregate they sum across
+	// flows, giving the aggregate offered rate and aggregate ceiling.
+	RateBps    int64
+	CeilingBps int64
+
 	// Figure 3 metric: of the Releases buffer-release decisions, how
 	// many happened while the sender had complete information from all
 	// receivers (every member known past the released sequence number).
