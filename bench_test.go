@@ -9,6 +9,9 @@ package repro
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -106,7 +109,7 @@ func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16", "val") }
 // driver takes each flow's lock once per tick for governor bookkeeping,
 // machine tick, and demand sampling combined.
 func BenchmarkSessionMultiplex(b *testing.B) {
-	for _, flows := range []int{1, 2, 4, 8, 16, 32, 64} {
+	for _, flows := range benchFlowCounts() {
 		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
 			const size = 256 << 10
 			b.SetBytes(int64(flows) * size)
@@ -115,6 +118,29 @@ func BenchmarkSessionMultiplex(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchFlowCounts returns the flow counts BenchmarkSessionMultiplex
+// sweeps. HRMC_BENCH_FLOWS (comma-separated, e.g. "1,12,64") overrides
+// the default sweep; scripts/bench.sh uses it to pin the tracked
+// 1/12/64 points.
+func benchFlowCounts() []int {
+	env := os.Getenv("HRMC_BENCH_FLOWS")
+	if env == "" {
+		return []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	var out []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			continue
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	return out
 }
 
 // runSessionTransfer moves size bytes on each of n concurrent flows

@@ -66,6 +66,11 @@ type Config struct {
 	// address ("host:port" or "unix:/path"); the -listen flag
 	// overrides it.
 	Listen string `json:"listen,omitempty"`
+	// RetentionSec, when positive, evicts terminal flows from the
+	// control plane that long after they finish, bounding /v1/status and
+	// /metrics cardinality on long-lived daemons; 0 keeps them until an
+	// explicit forget. The -retention flag overrides it.
+	RetentionSec int `json:"retention_sec,omitempty"`
 	// Groups lists the flows admitted at startup. Each distinct group
 	// needs its own UDP port: Linux delivers multicast for same-port
 	// sockets in one SO_REUSEPORT group to a single hash-chosen
@@ -92,9 +97,10 @@ const exampleConfig = `{
 
 func main() {
 	var (
-		cfgPath = flag.String("config", "", "JSON config file (see -example)")
-		listen  = flag.String("listen", "", `control API address ("host:port" or "unix:/path"); overrides the config`)
-		example = flag.Bool("example", false, "print an example config and exit")
+		cfgPath   = flag.String("config", "", "JSON config file (see -example)")
+		listen    = flag.String("listen", "", `control API address ("host:port" or "unix:/path"); overrides the config`)
+		retention = flag.Duration("retention", 0, "evict terminal flows from the control plane this long after they finish (0 keeps them until an explicit forget); overrides the config")
+		example   = flag.Bool("example", false, "print an example config and exit")
 	)
 	flag.Parse()
 	if *example {
@@ -108,6 +114,9 @@ func main() {
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	if *retention > 0 {
+		cfg.RetentionSec = int(retention.Seconds())
 	}
 	if len(cfg.Groups) == 0 && cfg.Listen == "" {
 		fmt.Fprintln(os.Stderr, "hrmcd: nothing to do: no groups configured and no -listen address (try -example)")
@@ -165,8 +174,9 @@ func run(cfg *Config) error {
 		Budget:       cfg.BudgetMbps * 1e6 / 8,
 	})
 	mgr := control.NewManager(control.ManagerConfig{
-		Session: sess,
-		Dialer:  mcastDialer{loopback: cfg.Loopback},
+		Session:   sess,
+		Dialer:    mcastDialer{loopback: cfg.Loopback},
+		Retention: time.Duration(cfg.RetentionSec) * time.Second,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("hrmcd: "+format+"\n", args...)
 		},

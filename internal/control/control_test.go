@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -420,5 +421,73 @@ func TestControlShutdownDrainsAll(t *testing.T) {
 		if fs.State != StateClosed && fs.State != StateDone {
 			t.Errorf("flow %s state after shutdown = %s, want closed or done", fs.Name, fs.State)
 		}
+	}
+}
+
+// TestControlRetentionEvictsTerminalFlows checks the metrics
+// cardinality cap: with Retention set, flows that finished stay listed
+// for the window and are then swept — detached from the session like
+// Forget — while flows still running are untouched.
+func TestControlRetentionEvictsTerminalFlows(t *testing.T) {
+	hub := transport.NewHub()
+	sess := session.New(session.Config{})
+	sinks := newMemSinks()
+	mgr := NewManager(ManagerConfig{
+		Session: sess,
+		Dialer: DialerFunc(func(FlowSpec) (transport.Transport, error) {
+			return hub.Endpoint(), nil
+		}),
+		OpenSource: seededSource(nameSeed),
+		OpenSink:   sinks.open,
+		Retention:  30 * time.Millisecond,
+	})
+	t.Cleanup(sess.Abort)
+
+	const size = 8 << 10
+	if _, err := mgr.Admit(FlowSpec{Name: "mirror", Group: "g1", Role: RoleRecv, LocalPort: 2, PeerPort: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snd, err := mgr.Admit(FlowSpec{Name: "dist", Group: "g1", Role: RoleSend,
+		Size: size, Receivers: 1, LocalPort: 1, PeerPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An idle receiver on its own ports never terminates; retention must
+	// leave it alone.
+	idle, err := mgr.Admit(FlowSpec{Name: "idle", Group: "g2", Role: RoleRecv, LocalPort: 4, PeerPort: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitList := func(what string, cond func([]FlowStatus) bool) []FlowStatus {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		var fss []FlowStatus
+		for time.Now().Before(deadline) {
+			fss = mgr.List()
+			if cond(fss) {
+				return fss
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (last: %+v)", what, fss)
+		return nil
+	}
+
+	// Each List sweeps, so the transfer pair is retired within one
+	// retention window of finishing; completion itself is asserted from
+	// the delivered bytes below.
+	fss := waitList("terminal flows to be retired", func(fss []FlowStatus) bool { return len(fss) == 1 })
+	if got := sinks.get("mirror").bytes(); !bytes.Equal(got, expectPattern("dist", size)) {
+		t.Errorf("delivered %d bytes, not bit-exact with the %d-byte source", len(got), size)
+	}
+	if fss[0].ID != idle.ID || fss[0].State != StateRunning {
+		t.Fatalf("surviving flow = %+v, want the running idle receiver", fss[0])
+	}
+	if err := mgr.Forget(snd.ID); !errors.Is(err, ErrUnknownFlow) {
+		t.Errorf("Forget after retention sweep = %v, want ErrUnknownFlow", err)
+	}
+	if n := len(sess.Snapshot().Flows); n != 1 {
+		t.Errorf("session still hosts %d flows after sweep, want 1", n)
 	}
 }

@@ -179,6 +179,16 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// CloneInto deep-copies p into q, reusing q's payload buffer when its
+// capacity suffices. It is the allocation-free companion of Clone for
+// pooled packets (transport.GetPacket/PutPacket): q's recycled payload
+// backing array absorbs the copy instead of a fresh allocation.
+func (p *Packet) CloneInto(q *Packet) {
+	buf := q.Payload[:0]
+	*q = *p
+	q.Payload = append(buf, p.Payload...)
+}
+
 // Encoding and decoding errors.
 var (
 	ErrShortPacket  = errors.New("packet: buffer shorter than header")
@@ -222,10 +232,23 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 // Decode parses one packet from buf, which must contain exactly one
 // packet (header plus payload). The payload is copied out of buf.
 func Decode(buf []byte) (*Packet, error) {
-	if len(buf) < HeaderSize {
-		return nil, ErrShortPacket
-	}
 	var p Packet
+	if err := DecodeInto(&p, buf); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodeInto parses one packet from buf into p, reusing p's payload
+// buffer when its capacity suffices — the allocation-free companion of
+// Decode for pooled packets on batched receive paths. On error p is
+// left in an unspecified state (its payload buffer is still reusable).
+func DecodeInto(p *Packet, buf []byte) error {
+	if len(buf) < HeaderSize {
+		return ErrShortPacket
+	}
+	pl := p.Payload[:0]
+	*p = Packet{}
 	p.SrcPort = binary.BigEndian.Uint16(buf[0:2])
 	p.DstPort = binary.BigEndian.Uint16(buf[2:4])
 	p.Seq = binary.BigEndian.Uint32(buf[4:8])
@@ -235,20 +258,20 @@ func Decode(buf []byte) (*Packet, error) {
 	p.Tries = buf[18]
 	p.Type = Type(buf[19] & typeMask)
 	p.Flags = buf[19] & flagMask
+	p.Payload = pl
 	if !p.Type.Valid() {
-		return nil, ErrBadType
+		return ErrBadType
 	}
 	if err := verifyChecksum(buf); err != nil {
-		return nil, err
+		return err
 	}
 	if payload := buf[HeaderSize:]; len(payload) > 0 {
-		p.Payload = make([]byte, len(payload))
-		copy(p.Payload, payload)
+		p.Payload = append(pl, payload...)
 	}
 	if p.Type == TypeData && p.Length != uint32(len(p.Payload)) {
-		return nil, ErrLengthField
+		return ErrLengthField
 	}
-	return &p, nil
+	return nil
 }
 
 func verifyChecksum(buf []byte) error {

@@ -184,6 +184,54 @@ func TestClone(t *testing.T) {
 	}
 }
 
+func TestCloneInto(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeData, Length: 2, Seq: 7}, Payload: []byte{1, 2}}
+	q := &Packet{Payload: make([]byte, 0, 64)}
+	keep := &q.Payload[:1][0]
+	p.CloneInto(q)
+	if q.Seq != 7 || len(q.Payload) != 2 || q.Payload[0] != 1 {
+		t.Fatalf("CloneInto result = %+v", q)
+	}
+	if &q.Payload[0] != keep {
+		t.Error("CloneInto discarded the destination's payload capacity")
+	}
+	q.Payload[0] = 99
+	if p.Payload[0] != 1 {
+		t.Error("CloneInto shares payload storage with the source")
+	}
+}
+
+func TestDecodeIntoReusesPayload(t *testing.T) {
+	p := &Packet{Header: Header{Type: TypeData, Length: 3}, Payload: []byte{1, 2, 3}}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Packet{Payload: make([]byte, 0, 64)}
+	keep := &q.Payload[:1][0]
+	if err := DecodeInto(q, buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Length != 3 || len(q.Payload) != 3 || q.Payload[2] != 3 {
+		t.Fatalf("DecodeInto result = %+v", q)
+	}
+	if &q.Payload[0] != keep {
+		t.Error("DecodeInto discarded the destination's payload capacity")
+	}
+	// A stale destination must be fully overwritten by a payload-less
+	// packet.
+	bare, err := (&Packet{Header: Header{Type: TypeKeepalive}}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(q, bare); err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != TypeKeepalive || len(q.Payload) != 0 {
+		t.Fatalf("DecodeInto left stale state: %+v", q)
+	}
+}
+
 func TestNodeIDString(t *testing.T) {
 	if s := NodeID(0x010203).String(); s != "10.1.2.3" {
 		t.Errorf("NodeID string = %q", s)

@@ -52,7 +52,12 @@ func WithWeight(w float64) FlowOption {
 type anyFlow interface {
 	base() *flow
 	tick(now sim.Time)
-	handle(now sim.Time, from packet.NodeID, p *packet.Packet)
+	// handleBatch feeds one receive batch's worth of packets to the
+	// protocol machine under a single flow-lock acquisition, flushing
+	// outgoing traffic once at the end. The flow takes ownership of
+	// the envelopes' packets (the machines may retain payloads, so
+	// they are never released back to the pool from here).
+	handleBatch(now sim.Time, env []transport.Envelope)
 	snapshot() FlowSnapshot
 	drainClose() error
 	abort()
@@ -64,6 +69,7 @@ type anyFlow interface {
 type flow struct {
 	sess   *Session
 	tr     transport.Transport
+	bt     transport.BatchTransport
 	kind   Kind
 	id     int
 	label  string
@@ -73,11 +79,15 @@ type flow struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	err  error
+	// envScratch is the reusable outgoing batch buffer flushLocked
+	// fills and SendBatch consumes; guarded by mu.
+	envScratch []transport.Envelope
 }
 
 func (f *flow) init(s *Session, kind Kind, tr transport.Transport, port uint16, opts []FlowOption) {
 	f.sess = s
 	f.tr = tr
+	f.bt = transport.Batched(tr)
 	f.kind = kind
 	f.port = port
 	f.weight = 1
@@ -85,6 +95,19 @@ func (f *flow) init(s *Session, kind Kind, tr transport.Transport, port uint16, 
 	for _, o := range opts {
 		o(f)
 	}
+}
+
+// sendEnvelopes ships a staged outgoing batch through the transport's
+// batch interface and clears the scratch slots. Caller holds f.mu.
+func (f *flow) sendEnvelopes(env []transport.Envelope) {
+	if len(env) == 0 {
+		return
+	}
+	_ = f.bt.SendBatch(env)
+	for i := range env {
+		env[i] = transport.Envelope{}
+	}
+	f.envScratch = env[:0]
 }
 
 func (f *flow) base() *flow { return f }
@@ -175,18 +198,26 @@ func (f *SenderFlow) tickSender(now sim.Time, share float64, haveShare, governed
 	return shareReq{Weight: f.weight, Demand: demand}, true
 }
 
-func (f *SenderFlow) handle(now sim.Time, from packet.NodeID, p *packet.Packet) {
+func (f *SenderFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 	f.mu.Lock()
-	f.m.HandlePacket(now, from, p)
+	for i := range env {
+		f.m.HandlePacket(now, env[i].From, env[i].Pkt)
+	}
 	f.flushLocked()
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
 
 func (f *SenderFlow) flushLocked() {
-	for _, o := range f.m.Outgoing() {
-		_ = f.tr.Send(o.Pkt, o.Dest.Multicast, o.Dest.Node)
+	outs := f.m.Outgoing()
+	if len(outs) == 0 {
+		return
 	}
+	env := f.envScratch[:0]
+	for _, o := range outs {
+		env = append(env, transport.Envelope{Pkt: o.Pkt, Multicast: o.Dest.Multicast, To: o.Dest.Node})
+	}
+	f.sendEnvelopes(env)
 }
 
 // SetWeight re-points the flow's fair-share weight under the session
@@ -319,28 +350,33 @@ func (f *ReceiverFlow) tick(now sim.Time) {
 	f.mu.Unlock()
 }
 
-func (f *ReceiverFlow) handle(now sim.Time, from packet.NodeID, p *packet.Packet) {
+func (f *ReceiverFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 	f.mu.Lock()
-	if !f.senderSet {
+	if !f.senderSet && len(env) > 0 {
 		f.senderSet = true
-		f.sender = from
+		f.sender = env[0].From
 	}
-	_ = f.m.HandlePacket(now, p)
+	for i := range env {
+		_ = f.m.HandlePacket(now, env[i].Pkt)
+	}
 	f.flushLocked()
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
 
 func (f *ReceiverFlow) flushLocked() {
+	env := f.envScratch[:0]
 	for _, p := range f.m.OutgoingMulticast() {
-		_ = f.tr.Send(p, true, 0)
+		env = append(env, transport.Envelope{Pkt: p, Multicast: true})
 	}
-	if !f.senderSet {
-		return
+	// Unicast feedback stays queued in the machine until the sender's
+	// node ID is learned from its first packet.
+	if f.senderSet {
+		for _, p := range f.m.Outgoing() {
+			env = append(env, transport.Envelope{Pkt: p, To: f.sender})
+		}
 	}
-	for _, p := range f.m.Outgoing() {
-		_ = f.tr.Send(p, false, f.sender)
-	}
+	f.sendEnvelopes(env)
 }
 
 // Read delivers in-order stream bytes, blocking until data is

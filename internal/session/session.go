@@ -7,13 +7,17 @@
 //
 //   - a single wall-clock tick loop (default one kernel jiffy, 10 ms)
 //     driving every flow's transmit and timer machinery;
-//   - one Recv loop per transport, with a port-based demultiplexer
-//     that routes each incoming packet to the flow bound to its
-//     destination port — the 20-byte H-RMC header carries src/dst
-//     ports end to end, so flows sharing a transport need no extra
-//     framing. A flow bound to port 0 acts as the wildcard and
-//     receives every packet with no exact port binding, which is how
-//     single-flow users (internal/core) keep working unconfigured;
+//   - one batched receive loop per transport (the transport's native
+//     BatchTransport interface, or any per-packet Transport lifted by
+//     transport.Batched), with a port-based demultiplexer that drains
+//     a whole batch, groups envelopes by destination port, and hands
+//     each flow its slice under one flow-lock acquisition per batch —
+//     the 20-byte H-RMC header carries src/dst ports end to end, so
+//     flows sharing a transport need no extra framing. A flow bound
+//     to port 0 acts as the wildcard and receives every packet with
+//     no exact port binding, which is how single-flow users
+//     (internal/core) keep working unconfigured. Packets bound for no
+//     flow are recycled into the shared transport packet pool;
 //   - an optional aggregate bandwidth budget: a weighted fair-share
 //     governor re-apportions the configured line rate among the
 //     sender flows still transmitting, scaling each flow's
@@ -33,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/packet"
 	"repro/internal/receiver"
 	"repro/internal/sender"
 	"repro/internal/sim"
@@ -191,41 +196,86 @@ func (s *Session) Budget() float64 {
 	return s.cfg.Budget
 }
 
+// recvBatchSize is how many envelopes the per-transport receive loop
+// drains per RecvBatch call: one batch costs one demux-lock
+// acquisition plus one flow-lock acquisition per distinct destination
+// flow, however many packets it carries.
+const recvBatchSize = 64
+
 // recvLoop is the per-transport receive driver plus its demultiplexer.
+// The transport is driven through its batch interface (a native
+// BatchTransport, or any per-packet Transport lifted to batch size 1
+// by transport.Batched).
 type recvLoop struct {
 	tr transport.Transport
+	bt transport.BatchTransport
 
 	mu     sync.Mutex
 	byPort map[uint16]anyFlow
 }
 
-// lookup routes a destination port to the owning flow: exact binding
-// first, then the port-0 wildcard flow.
-func (l *recvLoop) lookup(port uint16) anyFlow {
+// lookupBatch resolves each envelope's destination port to its owning
+// flow — exact binding first, then the port-0 wildcard — under a
+// single demux-lock acquisition for the whole batch. flows[i] is nil
+// for envelopes no flow is bound to.
+func (l *recvLoop) lookupBatch(env []transport.Envelope, flows []anyFlow) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if f, ok := l.byPort[port]; ok {
-		return f
+	for i := range env {
+		f, ok := l.byPort[env[i].Pkt.DstPort]
+		if !ok {
+			f = l.byPort[0]
+		}
+		flows[i] = f
 	}
-	return l.byPort[0]
 }
 
 func (l *recvLoop) bind(port uint16, f anyFlow) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if _, taken := l.byPort[port]; taken {
+		l.mu.Unlock()
 		return ErrPortInUse
 	}
 	l.byPort[port] = f
+	l.mu.Unlock()
+	l.refreshFilter()
 	return nil
 }
 
 func (l *recvLoop) unbind(port uint16, f anyFlow) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.byPort[port] == f {
 		delete(l.byPort, port)
 	}
+	l.mu.Unlock()
+	l.refreshFilter()
+}
+
+// refreshFilter pushes the current port-binding table down to the
+// transport as an early-demux filter (see transport.FilteredTransport):
+// on a shared hub, packets for ports this session never bound are then
+// discarded at the sender before being cloned or queued. A wildcard
+// (port 0) binding clears the filter — everything must be delivered.
+// Transports without filter support demux-drop as before.
+func (l *recvLoop) refreshFilter() {
+	ft, ok := l.bt.(transport.FilteredTransport)
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	if _, wild := l.byPort[0]; wild {
+		l.mu.Unlock()
+		ft.SetInboundFilter(nil)
+		return
+	}
+	var ports [1024]uint64 // 65536-port bitset snapshot
+	for p := range l.byPort {
+		ports[p>>6] |= 1 << (p & 63)
+	}
+	l.mu.Unlock()
+	ft.SetInboundFilter(func(h *packet.Header) bool {
+		return ports[h.DstPort>>6]&(1<<(h.DstPort&63)) != 0
+	})
 }
 
 func (l *recvLoop) bound() []anyFlow {
@@ -238,21 +288,73 @@ func (l *recvLoop) bound() []anyFlow {
 	return fs
 }
 
+// flowGroup is one flow's slice of a receive batch, in arrival order.
+type flowGroup struct {
+	f   anyFlow
+	env []transport.Envelope
+}
+
 // runRecv is the one receive loop a transport gets, demuxing every
-// arriving packet to its flow. A transport error fails every flow
-// bound to it, unblocking their waiters.
+// arriving batch to its flows: drain a full batch, resolve all ports
+// under one demux-lock acquisition, group envelopes by flow, and hand
+// each flow its slice in one flow-lock acquisition per batch instead
+// of one per packet. Packets no flow is bound to go straight back to
+// the shared packet pool — on a multicast hub most deliveries to an
+// endpoint belong to other groups, so this drop-path recycling is what
+// keeps the hot path allocation-free. A transport error fails every
+// flow bound to it, unblocking their waiters.
 func (s *Session) runRecv(l *recvLoop) {
 	defer s.wg.Done()
+	env := make([]transport.Envelope, recvBatchSize)
+	flows := make([]anyFlow, recvBatchSize)
+	var groups []flowGroup
 	for {
-		p, from, err := l.tr.Recv()
+		n, err := l.bt.RecvBatch(env)
 		if err != nil {
 			for _, f := range l.bound() {
 				f.base().fail(err)
 			}
 			return
 		}
-		if f := l.lookup(p.DstPort); f != nil {
-			f.handle(s.now(), from, p)
+		now := s.now()
+		l.lookupBatch(env[:n], flows[:n])
+		groups = groups[:0]
+		for i := 0; i < n; i++ {
+			f := flows[i]
+			flows[i] = nil
+			if f == nil {
+				transport.PutPacket(env[i].Pkt)
+				env[i] = transport.Envelope{}
+				continue
+			}
+			gi := -1
+			for j := range groups {
+				if groups[j].f == f {
+					gi = j
+					break
+				}
+			}
+			if gi < 0 {
+				// Reuse a truncated slot's envelope capacity when one
+				// is available; grow otherwise.
+				if len(groups) < cap(groups) {
+					groups = groups[:len(groups)+1]
+					groups[len(groups)-1].f = f
+				} else {
+					groups = append(groups, flowGroup{f: f})
+				}
+				gi = len(groups) - 1
+			}
+			groups[gi].env = append(groups[gi].env, env[i])
+			env[i] = transport.Envelope{}
+		}
+		for j := range groups {
+			groups[j].f.handleBatch(now, groups[j].env)
+			for i := range groups[j].env {
+				groups[j].env[i] = transport.Envelope{}
+			}
+			groups[j].env = groups[j].env[:0]
+			groups[j].f = nil
 		}
 	}
 }
@@ -268,7 +370,7 @@ func (s *Session) attach(f anyFlow) error {
 	}
 	l, ok := s.loops[b.tr]
 	if !ok {
-		l = &recvLoop{tr: b.tr, byPort: make(map[uint16]anyFlow)}
+		l = &recvLoop{tr: b.tr, bt: b.bt, byPort: make(map[uint16]anyFlow)}
 		s.loops[b.tr] = l
 		s.wg.Add(1)
 		go s.runRecv(l)

@@ -1,0 +1,155 @@
+// Transport v2: the batch-first interface. Every layer of the live
+// stack — the udpmcast syscall boundary, the in-memory hub, and the
+// session demultiplexer — moves envelopes in batches, amortizing one
+// syscall / lock acquisition / dispatch over many packets. The
+// per-packet Transport interface survives as a batch-size-1
+// compatibility adapter (see AsTransport and the hub/udpmcast Send and
+// Recv methods), so single-flow users keep their simple API while the
+// hot paths underneath run batched.
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// Envelope is one packet in flight with its addressing. On the send
+// side To and Multicast select the destination (To is ignored for
+// multicast); on the receive side From carries the source node ID and
+// the destination fields are zero.
+type Envelope struct {
+	Pkt       *packet.Packet
+	From      packet.NodeID
+	To        packet.NodeID
+	Multicast bool
+}
+
+// BatchTransport moves batches of encoded H-RMC packets between one
+// sender and many receivers. Implementations must be safe for
+// concurrent use. Packet buffers obey the pool ownership rules
+// documented on GetPacket: RecvBatch transfers ownership of each
+// delivered packet to the caller (who may release it with PutPacket);
+// SendBatch borrows the packets only for the duration of the call.
+type BatchTransport interface {
+	// SendBatch transmits every envelope, each to the whole group
+	// (multicast) or to one node. It returns the first per-envelope
+	// error after attempting the rest, or ErrClosed.
+	SendBatch(env []Envelope) error
+	// RecvBatch blocks until at least one packet arrives, fills buf
+	// with as many as are immediately available (at most len(buf)),
+	// and returns the count. It returns ErrClosed after Close.
+	RecvBatch(buf []Envelope) (int, error)
+	// Local returns this endpoint's node ID.
+	Local() packet.NodeID
+	// Close shuts the endpoint down and unblocks RecvBatch.
+	Close() error
+}
+
+// InboundFilterFunc inspects a packet header before the transport
+// commits resources to delivering it. Returning false discards the
+// packet at the source — before cloning or queueing — so the filter
+// must be cheap and must not retain the header.
+type InboundFilterFunc func(h *packet.Header) bool
+
+// FilteredTransport is implemented by transports that support early
+// demultiplexing: the consumer pushes a destination filter down to the
+// delivery path, and packets no local flow could accept are discarded
+// before they are cloned or queued — the in-memory analogue of NIC
+// multicast filtering / the kernel's early demux. internal/session
+// installs its port-binding table here, which is what removes the
+// O(endpoints²) clone fan-out on a shared hub. Filtering is advisory:
+// consumers must still drop unroutable packets themselves.
+type FilteredTransport interface {
+	// SetInboundFilter installs f as the early-demux predicate; nil
+	// restores deliver-everything. Safe for concurrent use with
+	// traffic; packets already in flight may bypass a newly installed
+	// filter.
+	SetInboundFilter(f InboundFilterFunc)
+}
+
+// Batched resolves the batch interface for any transport: a native
+// BatchTransport is used directly; anything else is wrapped in a
+// batch-size-1 adapter. This is how internal/session runs every
+// transport through one batched receive loop.
+func Batched(tr Transport) BatchTransport {
+	if bt, ok := tr.(BatchTransport); ok {
+		return bt
+	}
+	return &batchAdapter{tr: tr}
+}
+
+// batchAdapter lifts a per-packet Transport to BatchTransport with
+// batch size 1 — the compatibility path for third-party Transport
+// implementations that have no native batch support.
+type batchAdapter struct{ tr Transport }
+
+func (a *batchAdapter) SendBatch(env []Envelope) error {
+	var firstErr error
+	for i := range env {
+		if err := a.tr.Send(env[i].Pkt, env[i].Multicast, env[i].To); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (a *batchAdapter) RecvBatch(buf []Envelope) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	p, from, err := a.tr.Recv()
+	if err != nil {
+		return 0, err
+	}
+	buf[0] = Envelope{Pkt: p, From: from}
+	return 1, nil
+}
+
+func (a *batchAdapter) Local() packet.NodeID { return a.tr.Local() }
+func (a *batchAdapter) Close() error         { return a.tr.Close() }
+
+// AsTransport adapts a BatchTransport to the per-packet Transport
+// interface (batch size 1). Transport is the documented compatibility
+// surface of the pre-batch API: existing per-packet callers (core,
+// hrmcsock, the examples) keep compiling against it, while new drivers
+// should implement and consume BatchTransport directly. Recv buffers
+// nothing — each call asks the underlying transport for exactly one
+// envelope — so adapter users keep strict one-in one-out semantics.
+func AsTransport(bt BatchTransport) Transport {
+	if tr, ok := bt.(Transport); ok {
+		return tr
+	}
+	return &packetAdapter{bt: bt}
+}
+
+// packetAdapter narrows a BatchTransport to the per-packet surface.
+type packetAdapter struct {
+	bt BatchTransport
+
+	mu  sync.Mutex
+	one [1]Envelope
+}
+
+func (a *packetAdapter) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
+	return a.bt.SendBatch([]Envelope{{Pkt: p, Multicast: multicast, To: node}})
+}
+
+func (a *packetAdapter) Recv() (*packet.Packet, packet.NodeID, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		n, err := a.bt.RecvBatch(a.one[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if n == 1 {
+			e := a.one[0]
+			a.one[0] = Envelope{}
+			return e.Pkt, e.From, nil
+		}
+	}
+}
+
+func (a *packetAdapter) Local() packet.NodeID { return a.bt.Local() }
+func (a *packetAdapter) Close() error         { return a.bt.Close() }

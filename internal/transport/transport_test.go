@@ -126,7 +126,7 @@ func TestHubPartialLossStatistics(t *testing.T) {
 	}
 	// Without a configured delay, delivery is synchronous: everything
 	// that survived the loss draw is already queued.
-	got := len(b.(*hubEndpoint).ch)
+	got := b.(*hubEndpoint).pending()
 	if got < 800 || got > 1200 {
 		t.Errorf("50%% loss delivered %d of %d", got, n)
 	}

@@ -1,0 +1,40 @@
+// Batch I/O plumbing shared by the recvmmsg/sendmmsg implementation
+// (mmsg_linux.go) and the portable single-syscall fallback
+// (mmsg_fallback.go). Both expose the same batchReader/batchWriter
+// surface, so the transports above are identical on every platform.
+package udpmcast
+
+import "net"
+
+const (
+	// mmsgBatch is how many datagrams one recvmmsg drains at most.
+	mmsgBatch = 16
+	// mmsgBufSize bounds one batched datagram. Larger datagrams (which
+	// would need jumbo frames well past 9K MTU) are treated as
+	// truncated and dropped; the fallback path still accepts up to
+	// maxDatagram.
+	mmsgBufSize = 16 << 10
+)
+
+// outMsg is one encoded datagram and its destination. A nil addr marks
+// a message the caller already failed (e.g. unknown node) — writers
+// skip it.
+type outMsg struct {
+	buf  []byte
+	addr *net.UDPAddr
+}
+
+// writeSeq transmits each message with its own syscall — the portable
+// path, and the runtime fallback when batch syscalls are unavailable.
+func writeSeq(conn *net.UDPConn, msgs []outMsg) error {
+	var firstErr error
+	for _, m := range msgs {
+		if m.addr == nil || len(m.buf) == 0 {
+			continue
+		}
+		if _, err := conn.WriteToUDP(m.buf, m.addr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,44 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Portable batch I/O: platforms without the recvmmsg/sendmmsg wiring
+// run batch size 1 per syscall behind the same batchReader/batchWriter
+// surface as mmsg_linux.go.
+package udpmcast
+
+import "net"
+
+// batchReader reads one datagram per call on platforms without
+// recvmmsg support.
+type batchReader struct {
+	conn *net.UDPConn
+	buf  []byte
+	n    int
+	addr *net.UDPAddr
+}
+
+func newBatchReader(conn *net.UDPConn) *batchReader {
+	return &batchReader{conn: conn, buf: make([]byte, maxDatagram)}
+}
+
+func (r *batchReader) read(max int) (int, error) {
+	if max <= 0 {
+		return 0, nil
+	}
+	n, addr, err := r.conn.ReadFromUDP(r.buf)
+	if err != nil {
+		return 0, err
+	}
+	r.n, r.addr = n, addr
+	return 1, nil
+}
+
+func (r *batchReader) datagram(int) ([]byte, *net.UDPAddr) {
+	return r.buf[:r.n], r.addr
+}
+
+// batchWriter sends each message with its own syscall.
+type batchWriter struct{ conn *net.UDPConn }
+
+func newBatchWriter(conn *net.UDPConn) *batchWriter { return &batchWriter{conn: conn} }
+
+func (w *batchWriter) write(msgs []outMsg) error { return writeSeq(w.conn, msgs) }

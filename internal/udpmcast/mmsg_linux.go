@@ -1,0 +1,250 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched datagram syscalls: recvmmsg/sendmmsg collapse N datagrams
+// into one kernel crossing, mirroring golang.org/x/net/ipv4's
+// ReadBatch/WriteBatch. Implemented directly over the stdlib syscall
+// package (this module carries no external dependencies); the
+// non-blocking calls are woven into the runtime's netpoller via
+// syscall.RawConn, so a blocked batch read parks the goroutine like a
+// plain conn.Read would. On kernels or sandboxes rejecting the
+// syscalls (ENOSYS/EPERM), the transport flips to the portable
+// single-packet path in mmsg_common.go for the rest of the process.
+package udpmcast
+
+import (
+	"net"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgSupported gates the batch syscalls process-wide; the first
+// ENOSYS/EPERM disables them and every reader/writer falls back to
+// single-packet I/O.
+var mmsgSupported atomic.Bool
+
+func init() { mmsgSupported.Store(true) }
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// ntohs converts a network-byte-order uint16 read through a raw
+// sockaddr into host order, independent of host endianness.
+func ntohs(v uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(&v))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+func htons(v uint16) uint16 { return ntohs(v) }
+
+// batchReader reads datagram batches from one UDP socket. The mmsghdr,
+// iovec, name, and payload buffers are set up once and reused for
+// every recvmmsg call.
+type batchReader struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	msgs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet4
+	bufs  [][]byte
+	addrs []net.UDPAddr // reused per-datagram source addresses
+
+	// Single-read fallback state, used when rc is unavailable or the
+	// batch syscalls have been disabled at runtime.
+	oneBuf  []byte
+	oneN    int
+	oneAddr *net.UDPAddr
+	lastOne bool // last read() used the fallback path
+}
+
+func newBatchReader(conn *net.UDPConn) *batchReader {
+	r := &batchReader{conn: conn}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return r // rc == nil selects the fallback path
+	}
+	r.rc = rc
+	r.msgs = make([]mmsghdr, mmsgBatch)
+	r.iovs = make([]syscall.Iovec, mmsgBatch)
+	r.names = make([]syscall.RawSockaddrInet4, mmsgBatch)
+	r.bufs = make([][]byte, mmsgBatch)
+	r.addrs = make([]net.UDPAddr, mmsgBatch)
+	for i := range r.msgs {
+		r.bufs[i] = make([]byte, mmsgBufSize)
+		r.iovs[i].Base = &r.bufs[i][0]
+		r.iovs[i].Len = mmsgBufSize
+		r.msgs[i].hdr.Iov = &r.iovs[i]
+		r.msgs[i].hdr.Iovlen = 1
+		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+	}
+	return r
+}
+
+// read blocks until at least one datagram arrives and returns how many
+// (at most max) were drained in one recvmmsg. It falls back to a
+// single blocking read when batch syscalls are unavailable.
+func (r *batchReader) read(max int) (int, error) {
+	if r.rc == nil || !mmsgSupported.Load() {
+		return r.readOne()
+	}
+	if max > len(r.msgs) {
+		max = len(r.msgs)
+	}
+	if max <= 0 {
+		return 0, nil
+	}
+	for i := 0; i < max; i++ {
+		r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+		r.msgs[i].n = 0
+	}
+	var n int
+	var serr syscall.Errno
+	err := r.rc.Read(func(fd uintptr) bool {
+		got, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(max),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if errno == syscall.EAGAIN {
+			return false
+		}
+		n, serr = int(got), errno
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if serr != 0 {
+		if serr == syscall.ENOSYS || serr == syscall.EPERM {
+			mmsgSupported.Store(false)
+			return r.readOne()
+		}
+		return 0, serr
+	}
+	r.lastOne = false
+	return n, nil
+}
+
+// readOne is the single-datagram path: one blocking ReadFromUDP.
+func (r *batchReader) readOne() (int, error) {
+	if r.oneBuf == nil {
+		r.oneBuf = make([]byte, maxDatagram)
+	}
+	n, addr, err := r.conn.ReadFromUDP(r.oneBuf)
+	if err != nil {
+		return 0, err
+	}
+	r.oneN, r.oneAddr, r.lastOne = n, addr, true
+	return 1, nil
+}
+
+// datagram returns the i-th datagram of the last read and its source
+// address. The returned slices/addresses are valid until the next read.
+func (r *batchReader) datagram(i int) ([]byte, *net.UDPAddr) {
+	if r.lastOne {
+		return r.oneBuf[:r.oneN], r.oneAddr
+	}
+	n := int(r.msgs[i].n)
+	if n >= mmsgBufSize {
+		// Possible kernel-side truncation: poison the length so the
+		// decoder rejects it rather than delivering a clipped packet.
+		n = 0
+	}
+	name := &r.names[i]
+	addr := &r.addrs[i]
+	*addr = net.UDPAddr{
+		IP:   net.IPv4(name.Addr[0], name.Addr[1], name.Addr[2], name.Addr[3]),
+		Port: int(ntohs(name.Port)),
+	}
+	return r.bufs[i][:n], addr
+}
+
+// batchWriter sends datagram batches to per-message destinations over
+// one UDP socket. Not safe for concurrent use; callers serialize.
+type batchWriter struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	msgs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet4
+}
+
+func newBatchWriter(conn *net.UDPConn) *batchWriter {
+	w := &batchWriter{conn: conn}
+	if rc, err := conn.SyscallConn(); err == nil {
+		w.rc = rc
+	}
+	return w
+}
+
+// write transmits every message, using sendmmsg to cover the batch in
+// as few syscalls as possible. A per-message destination of nil is
+// skipped (the caller has already recorded its error).
+func (w *batchWriter) write(msgs []outMsg) error {
+	if w.rc == nil || !mmsgSupported.Load() {
+		return writeSeq(w.conn, msgs)
+	}
+	if len(w.msgs) < len(msgs) {
+		w.msgs = make([]mmsghdr, len(msgs))
+		w.iovs = make([]syscall.Iovec, len(msgs))
+		w.names = make([]syscall.RawSockaddrInet4, len(msgs))
+	}
+	n := 0
+	for _, m := range msgs {
+		if m.addr == nil || len(m.buf) == 0 {
+			continue
+		}
+		ip4 := m.addr.IP.To4()
+		if ip4 == nil {
+			continue
+		}
+		w.names[n] = syscall.RawSockaddrInet4{
+			Family: syscall.AF_INET,
+			Port:   htons(uint16(m.addr.Port)),
+			Addr:   [4]byte(ip4),
+		}
+		w.iovs[n].Base = &m.buf[0]
+		w.iovs[n].Len = uint64(len(m.buf))
+		w.msgs[n] = mmsghdr{}
+		w.msgs[n].hdr.Iov = &w.iovs[n]
+		w.msgs[n].hdr.Iovlen = 1
+		w.msgs[n].hdr.Name = (*byte)(unsafe.Pointer(&w.names[n]))
+		w.msgs[n].hdr.Namelen = syscall.SizeofSockaddrInet4
+		n++
+	}
+	sent := 0
+	for sent < n {
+		var got int
+		var serr syscall.Errno
+		err := w.rc.Write(func(fd uintptr) bool {
+			g, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&w.msgs[sent])), uintptr(n-sent),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EAGAIN {
+				return false
+			}
+			got, serr = int(g), errno
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if serr != 0 {
+			if serr == syscall.ENOSYS || serr == syscall.EPERM {
+				mmsgSupported.Store(false)
+				if sent == 0 {
+					return writeSeq(w.conn, msgs)
+				}
+			}
+			return serr
+		}
+		if got <= 0 {
+			break
+		}
+		sent += got
+	}
+	return nil
+}

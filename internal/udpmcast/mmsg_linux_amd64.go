@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udpmcast
+
+// The frozen stdlib syscall tables predate sendmmsg, so the numbers
+// are spelled out here (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udpmcast
+
+// The frozen stdlib syscall tables predate sendmmsg, so the numbers
+// are spelled out here (include/uapi/asm-generic/unistd.h).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

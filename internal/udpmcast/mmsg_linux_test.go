@@ -1,0 +1,53 @@
+//go:build linux && (amd64 || arm64)
+
+package udpmcast
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// TestBatchSyscallRuntimeFallback simulates a kernel or sandbox without
+// recvmmsg/sendmmsg (the ENOSYS/EPERM path flips mmsgSupported): the
+// transports must keep moving packets, one datagram per syscall.
+func TestBatchSyscallRuntimeFallback(t *testing.T) {
+	mmsgSupported.Store(false)
+	t.Cleanup(func() { mmsgSupported.Store(true) })
+
+	st, err := NewSenderTransport(testGroup)
+	if err != nil {
+		t.Skipf("cannot open sender transport: %v", err)
+	}
+	defer st.Close()
+	c := dialFeedback(t, st.Addr().Port)
+
+	const total = 6
+	for i := 0; i < total; i++ {
+		writeSeq32(t, c, uint32(300+i))
+	}
+	seqs, calls := collectSeqs(t, st, 4, total)
+	for i := 0; i < total; i++ {
+		if seqs[uint32(300+i)] != 1 {
+			t.Errorf("seq %d delivered %d times, want 1", 300+i, seqs[uint32(300+i)])
+		}
+	}
+	// The single-read path hands over exactly one datagram per call.
+	if calls != total {
+		t.Errorf("fallback RecvBatch took %d calls for %d datagrams, want one each", calls, total)
+	}
+
+	// The send side degrades to sequential WriteToUDP: a multicast batch
+	// must still leave without error.
+	env := make([]transport.Envelope, 3)
+	for i := range env {
+		env[i] = transport.Envelope{
+			Pkt:       &packet.Packet{Header: packet.Header{Type: packet.TypeKeepalive, Seq: uint32(i)}},
+			Multicast: true,
+		}
+	}
+	if err := st.SendBatch(env); err != nil {
+		t.Errorf("SendBatch under fallback: %v", err)
+	}
+}

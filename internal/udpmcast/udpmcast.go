@@ -1,5 +1,5 @@
-// Package udpmcast implements the transport.Transport interface over
-// real IP multicast using the standard net package, so the same protocol
+// Package udpmcast implements the transport interfaces over real IP
+// multicast using the standard net package, so the same protocol
 // machines that run in the simulator drive actual UDP sockets — the
 // library's equivalent of the paper's kernel deployment.
 //
@@ -8,6 +8,13 @@
 // receivers; receivers join the group on a multicast listener and send
 // feedback from a second unicast socket, whose source address is what
 // the sender's membership table stores (mapped to a dense NodeID).
+//
+// Since Transport v2 both endpoints are batch-first: SendBatch encodes
+// a whole envelope batch into reused buffers and hands it to sendmmsg,
+// and RecvBatch drains up to mmsgBatch datagrams per recvmmsg into
+// pooled packets (see mmsg_linux.go; platforms or kernels without the
+// batch syscalls degrade to one datagram per syscall behind the same
+// interface). Send/Recv remain as batch-size-1 adapters.
 package udpmcast
 
 import (
@@ -23,15 +30,44 @@ import (
 // maxDatagram bounds received packet size (MSS + header with slack).
 const maxDatagram = 64 << 10
 
+// rxInboxDepth bounds the receiver's pending-delivery queue, playing
+// the role of a kernel socket buffer: datagrams beyond it behave like
+// network loss.
+const rxInboxDepth = 4096
+
 // peerIDBase is the first node ID handed to a learned peer address.
 // Port-derived local IDs occupy [0, 65535]; keeping assigned peer IDs
 // above this base keeps the two spaces disjoint.
 const peerIDBase packet.NodeID = 1 << 20
 
+// sendState is the shared batched-send half of both endpoints: encode
+// scratch and the outMsg staging list survive between batches so the
+// steady state allocates nothing. Guarded by mu; SendBatch calls from
+// concurrent flows serialize here, which also serializes sendmmsg on
+// the socket.
+type sendState struct {
+	mu  sync.Mutex
+	bw  *batchWriter
+	enc [][]byte
+	out []outMsg
+}
+
+// encBuf returns the i-th reusable encode buffer, truncated to zero.
+func (s *sendState) encBuf(i int) []byte {
+	for len(s.enc) <= i {
+		s.enc = append(s.enc, nil)
+	}
+	return s.enc[i][:0]
+}
+
 // SenderTransport is the sender-side UDP endpoint.
 type SenderTransport struct {
 	conn  *net.UDPConn
 	group *net.UDPAddr
+
+	send   sendState
+	recvMu sync.Mutex // serializes RecvBatch over br
+	br     *batchReader
 
 	mu    sync.Mutex
 	ids   map[string]packet.NodeID
@@ -39,7 +75,10 @@ type SenderTransport struct {
 	next  packet.NodeID
 }
 
-var _ transport.Transport = (*SenderTransport)(nil)
+var (
+	_ transport.Transport      = (*SenderTransport)(nil)
+	_ transport.BatchTransport = (*SenderTransport)(nil)
+)
 
 // SenderOption configures a SenderTransport.
 type SenderOption func(*SenderTransport) error
@@ -89,10 +128,12 @@ func NewSenderTransport(group string, opts ...SenderOption) (*SenderTransport, e
 	t := &SenderTransport{
 		conn:  conn,
 		group: gaddr,
+		br:    newBatchReader(conn),
 		ids:   make(map[string]packet.NodeID),
 		addrs: make(map[packet.NodeID]*net.UDPAddr),
 		next:  peerIDBase,
 	}
+	t.send.bw = newBatchWriter(conn)
 	for _, o := range opts {
 		if err := o(t); err != nil {
 			conn.Close()
@@ -114,51 +155,111 @@ func (t *SenderTransport) Local() packet.NodeID {
 // Addr returns the sender's unicast socket address.
 func (t *SenderTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
 
-// Send implements transport.Transport.
-func (t *SenderTransport) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
-	buf, err := p.Encode(nil)
-	if err != nil {
-		return err
+// SendBatch implements transport.BatchTransport: the whole batch is
+// encoded into reused buffers and handed to one sendmmsg (where
+// available). Unknown unicast nodes and encode failures surface as the
+// first error after the rest of the batch is attempted.
+func (t *SenderTransport) SendBatch(env []transport.Envelope) error {
+	t.send.mu.Lock()
+	defer t.send.mu.Unlock()
+	msgs := t.send.out[:0]
+	var firstErr error
+	for i := range env {
+		b, err := env[i].Pkt.Encode(t.send.encBuf(i))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		t.send.enc[i] = b
+		addr := t.group
+		if !env[i].Multicast {
+			t.mu.Lock()
+			addr = t.addrs[env[i].To]
+			t.mu.Unlock()
+			if addr == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("udpmcast: unknown node %v", env[i].To)
+				}
+				continue
+			}
+		}
+		msgs = append(msgs, outMsg{buf: b, addr: addr})
 	}
-	if multicast {
-		_, err = t.conn.WriteToUDP(buf, t.group)
-		return err
+	err := t.send.bw.write(msgs)
+	t.send.out = msgs[:0]
+	if err != nil && firstErr == nil {
+		firstErr = err
 	}
-	t.mu.Lock()
-	addr := t.addrs[node]
-	t.mu.Unlock()
-	if addr == nil {
-		return fmt.Errorf("udpmcast: unknown node %v", node)
-	}
-	_, err = t.conn.WriteToUDP(buf, addr)
-	return err
+	return firstErr
 }
 
-// Recv implements transport.Transport: it blocks for receiver feedback
-// on the unicast socket, assigning dense node IDs to new source
-// addresses.
-func (t *SenderTransport) Recv() (*packet.Packet, packet.NodeID, error) {
-	buf := make([]byte, maxDatagram)
+// RecvBatch implements transport.BatchTransport: it blocks for receiver
+// feedback on the unicast socket, draining up to one recvmmsg batch of
+// datagrams into pooled packets and assigning dense node IDs to new
+// source addresses. Ownership of the returned packets transfers to the
+// caller.
+func (t *SenderTransport) RecvBatch(out []transport.Envelope) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	max := len(out)
+	if max > mmsgBatch {
+		max = mmsgBatch
+	}
 	for {
-		n, src, err := t.conn.ReadFromUDP(buf)
+		n, err := t.br.read(max)
 		if err != nil {
-			return nil, 0, transport.ErrClosed
+			return 0, transport.ErrClosed
 		}
-		p, err := packet.Decode(buf[:n])
+		k := 0
+		for i := 0; i < n; i++ {
+			b, src := t.br.datagram(i)
+			p := transport.GetPacket()
+			if err := packet.DecodeInto(p, b); err != nil {
+				transport.PutPacket(p) // garbage or corrupted datagram
+				continue
+			}
+			key := src.String()
+			t.mu.Lock()
+			id, ok := t.ids[key]
+			if !ok {
+				id = t.next
+				t.next++
+				t.ids[key] = id
+				a := *src // src aliases reader-owned storage; keep a copy
+				t.addrs[id] = &a
+			}
+			t.mu.Unlock()
+			out[k] = transport.Envelope{Pkt: p, From: id}
+			k++
+		}
+		if k > 0 {
+			return k, nil
+		}
+	}
+}
+
+// Send implements transport.Transport as a batch-size-1 adapter.
+func (t *SenderTransport) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
+	env := [1]transport.Envelope{{Pkt: p, Multicast: multicast, To: node}}
+	return t.SendBatch(env[:])
+}
+
+// Recv implements transport.Transport as a batch-size-1 adapter.
+func (t *SenderTransport) Recv() (*packet.Packet, packet.NodeID, error) {
+	var buf [1]transport.Envelope
+	for {
+		n, err := t.RecvBatch(buf[:])
 		if err != nil {
-			continue // garbage or corrupted datagram
+			return nil, 0, err
 		}
-		key := src.String()
-		t.mu.Lock()
-		id, ok := t.ids[key]
-		if !ok {
-			id = t.next
-			t.next++
-			t.ids[key] = id
-			t.addrs[id] = src
+		if n == 1 {
+			return buf[0].Pkt, buf[0].From, nil
 		}
-		t.mu.Unlock()
-		return p, id, nil
 	}
 }
 
@@ -171,7 +272,13 @@ type ReceiverTransport struct {
 	uconn *net.UDPConn // unicast socket (feedback out, PROBE in)
 	group *net.UDPAddr // group address for local-recovery multicast
 
-	items  chan rxItem
+	send sendState
+
+	qmu    sync.Mutex
+	queue  []*packet.Packet // pending deliveries, queue[head:] live
+	head   int
+	notify chan struct{} // capacity 1: "queue may be non-empty"
+
 	closed chan struct{}
 	once   sync.Once
 
@@ -179,12 +286,10 @@ type ReceiverTransport struct {
 	sender *net.UDPAddr
 }
 
-type rxItem struct {
-	pkt *packet.Packet
-	src *net.UDPAddr
-}
-
-var _ transport.Transport = (*ReceiverTransport)(nil)
+var (
+	_ transport.Transport      = (*ReceiverTransport)(nil)
+	_ transport.BatchTransport = (*ReceiverTransport)(nil)
+)
 
 // NewReceiverTransport joins the multicast group on the given interface
 // (nil selects the system default) and opens the feedback socket.
@@ -206,39 +311,112 @@ func NewReceiverTransport(group string, ifi *net.Interface) (*ReceiverTransport,
 		mconn:  mconn,
 		uconn:  uconn,
 		group:  gaddr,
-		items:  make(chan rxItem, 4096),
+		notify: make(chan struct{}, 1),
 		closed: make(chan struct{}),
 	}
+	t.send.bw = newBatchWriter(uconn)
 	go t.readLoop(mconn, true)
 	go t.readLoop(uconn, false)
 	return t, nil
 }
 
+// readLoop drains one socket in recvmmsg batches, decodes into pooled
+// packets, and pushes whole batches into the shared inbox under one
+// lock acquisition.
 func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
-	buf := make([]byte, maxDatagram)
+	br := newBatchReader(conn)
+	batch := make([]*packet.Packet, 0, mmsgBatch)
 	for {
-		n, src, err := conn.ReadFromUDP(buf)
+		n, err := br.read(mmsgBatch)
 		if err != nil {
 			return
 		}
-		p, err := packet.Decode(buf[:n])
-		if err != nil {
-			continue
-		}
-		if learnSender {
-			t.mu.Lock()
-			if t.sender == nil {
-				t.sender = src
+		batch = batch[:0]
+		for i := 0; i < n; i++ {
+			b, src := br.datagram(i)
+			p := transport.GetPacket()
+			if err := packet.DecodeInto(p, b); err != nil {
+				transport.PutPacket(p)
+				continue
 			}
-			t.mu.Unlock()
+			if learnSender {
+				t.mu.Lock()
+				if t.sender == nil {
+					a := *src // src aliases reader-owned storage
+					t.sender = &a
+				}
+				t.mu.Unlock()
+			}
+			batch = append(batch, p)
 		}
-		select {
-		case t.items <- rxItem{pkt: p, src: src}:
-		case <-t.closed:
-			return
-		default: // overflow behaves like network loss
+		if len(batch) > 0 {
+			t.push(batch)
 		}
 	}
+}
+
+// push appends a decoded batch to the inbox. Overflow beyond
+// rxInboxDepth behaves like network loss, and the dropped packets go
+// straight back to the pool.
+func (t *ReceiverTransport) push(pkts []*packet.Packet) {
+	select {
+	case <-t.closed:
+		for _, p := range pkts {
+			transport.PutPacket(p)
+		}
+		return
+	default:
+	}
+	t.qmu.Lock()
+	if t.head > 0 {
+		n := copy(t.queue, t.queue[t.head:])
+		for i := n; i < len(t.queue); i++ {
+			t.queue[i] = nil
+		}
+		t.queue = t.queue[:n]
+		t.head = 0
+	}
+	space := rxInboxDepth - len(t.queue)
+	for i, p := range pkts {
+		if i >= space {
+			transport.PutPacket(p)
+			continue
+		}
+		t.queue = append(t.queue, p)
+	}
+	t.qmu.Unlock()
+	select {
+	case t.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop moves up to len(buf) pending packets into buf, re-arming the
+// notify token when items remain.
+func (t *ReceiverTransport) pop(buf []transport.Envelope) int {
+	t.qmu.Lock()
+	n := len(t.queue) - t.head
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = transport.Envelope{Pkt: t.queue[t.head+i]}
+		t.queue[t.head+i] = nil
+	}
+	t.head += n
+	remaining := len(t.queue) - t.head
+	if remaining == 0 {
+		t.queue = t.queue[:0]
+		t.head = 0
+	}
+	t.qmu.Unlock()
+	if remaining > 0 {
+		select {
+		case t.notify <- struct{}{}:
+		default:
+		}
+	}
+	return n
 }
 
 // Local implements transport.Transport. Receivers identify themselves to
@@ -249,39 +427,87 @@ func (t *ReceiverTransport) Local() packet.NodeID {
 	return packet.NodeID(t.uconn.LocalAddr().(*net.UDPAddr).Port)
 }
 
-// Send implements transport.Transport: unicast feedback goes to the
-// sender, whose address is learned from the first multicast packet;
-// multicast (local-recovery NAKs and repairs) goes to the group address.
-func (t *ReceiverTransport) Send(p *packet.Packet, multicast bool, _ packet.NodeID) error {
-	buf, err := p.Encode(nil)
-	if err != nil {
-		return err
-	}
-	if multicast {
-		_, err = t.uconn.WriteToUDP(buf, t.group)
-		return err
-	}
+// SendBatch implements transport.BatchTransport: unicast feedback goes
+// to the sender, whose address is learned from the first multicast
+// packet; multicast (local-recovery NAKs and repairs) goes to the group
+// address. The whole batch leaves in one sendmmsg where available.
+func (t *ReceiverTransport) SendBatch(env []transport.Envelope) error {
 	t.mu.Lock()
-	dst := t.sender
+	sender := t.sender
 	t.mu.Unlock()
-	if dst == nil {
-		return fmt.Errorf("udpmcast: sender address not yet known")
+	t.send.mu.Lock()
+	defer t.send.mu.Unlock()
+	msgs := t.send.out[:0]
+	var firstErr error
+	for i := range env {
+		b, err := env[i].Pkt.Encode(t.send.encBuf(i))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		t.send.enc[i] = b
+		addr := t.group
+		if !env[i].Multicast {
+			if sender == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("udpmcast: sender address not yet known")
+				}
+				continue
+			}
+			addr = sender
+		}
+		msgs = append(msgs, outMsg{buf: b, addr: addr})
 	}
-	_, err = t.uconn.WriteToUDP(buf, dst)
-	return err
+	err := t.send.bw.write(msgs)
+	t.send.out = msgs[:0]
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// Recv implements transport.Transport.
-func (t *ReceiverTransport) Recv() (*packet.Packet, packet.NodeID, error) {
-	select {
-	case item := <-t.items:
-		return item.pkt, 0, nil
-	case <-t.closed:
+// RecvBatch implements transport.BatchTransport, draining the inbox
+// fed by both read loops. Ownership of the returned packets transfers
+// to the caller. The source node ID is always 0: a receiver's only
+// peers are the sender and the anonymous group.
+func (t *ReceiverTransport) RecvBatch(buf []transport.Envelope) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	for {
+		if n := t.pop(buf); n > 0 {
+			return n, nil
+		}
 		select {
-		case item := <-t.items:
-			return item.pkt, 0, nil
-		default:
-			return nil, 0, transport.ErrClosed
+		case <-t.notify:
+		case <-t.closed:
+			// Drain anything that raced with close.
+			if n := t.pop(buf); n > 0 {
+				return n, nil
+			}
+			return 0, transport.ErrClosed
+		}
+	}
+}
+
+// Send implements transport.Transport as a batch-size-1 adapter.
+func (t *ReceiverTransport) Send(p *packet.Packet, multicast bool, node packet.NodeID) error {
+	env := [1]transport.Envelope{{Pkt: p, Multicast: multicast, To: node}}
+	return t.SendBatch(env[:])
+}
+
+// Recv implements transport.Transport as a batch-size-1 adapter.
+func (t *ReceiverTransport) Recv() (*packet.Packet, packet.NodeID, error) {
+	var buf [1]transport.Envelope
+	for {
+		n, err := t.RecvBatch(buf[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if n == 1 {
+			return buf[0].Pkt, buf[0].From, nil
 		}
 	}
 }

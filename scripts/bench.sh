@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run BenchmarkSessionMultiplex at 1/12/64 flows and write
+# BENCH_4.json (ns/op, MB/s, B/op, allocs/op per flow count) next to
+# the recorded pre-Transport-v2 baseline, so the batching win is
+# tracked as a checked-in artifact.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
+# Env:
+#   BENCH_OUT  output path (default BENCH_4.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+OUT="${BENCH_OUT:-BENCH_4.json}"
+
+RAW=$(HRMC_BENCH_FLOWS=1,12,64 go test -run '^$' -bench 'BenchmarkSessionMultiplex' \
+	-benchtime "$BENCHTIME" -benchmem .)
+echo "$RAW"
+
+echo "$RAW" | awk -v benchtime="$BENCHTIME" '
+/BenchmarkSessionMultiplex\/flows=/ {
+	name = $1
+	sub(/.*flows=/, "", name)
+	sub(/-[0-9]+$/, "", name)
+	# Fields: name iters ns "ns/op" mbs "MB/s" bytes "B/op" allocs "allocs/op"
+	cur[name] = sprintf("{\"ns_op\": %s, \"mb_s\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+		$3, $5, $7, $9)
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkSessionMultiplex\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"baseline\": {\n"
+	printf "    \"commit\": \"a16ad3e (pre-Transport v2, per-packet hub + channel inbox)\",\n"
+	printf "    \"flows\": {\n"
+	printf "      \"1\": {\"ns_op\": 71500000, \"mb_s\": 3.67, \"b_op\": 2445728, \"allocs_op\": 1883},\n"
+	printf "      \"12\": {\"ns_op\": 190400000, \"mb_s\": 16.52, \"b_op\": 102527077, \"allocs_op\": 134480},\n"
+	printf "      \"64\": {\"ns_op\": 7406000000, \"mb_s\": 2.27, \"b_op\": 2368113277, \"allocs_op\": 3305570}\n"
+	printf "    }\n"
+	printf "  },\n"
+	printf "  \"current\": {\n"
+	printf "    \"flows\": {\n"
+	for (i = 0; i < n; i++) {
+		printf "      \"%s\": %s%s\n", order[i], cur[order[i]], (i < n-1 ? "," : "")
+	}
+	printf "    }\n"
+	printf "  }\n"
+	printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
