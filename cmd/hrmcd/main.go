@@ -34,6 +34,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -100,12 +101,24 @@ func main() {
 		cfgPath   = flag.String("config", "", "JSON config file (see -example)")
 		listen    = flag.String("listen", "", `control API address ("host:port" or "unix:/path"); overrides the config`)
 		retention = flag.Duration("retention", 0, "evict terminal flows from the control plane this long after they finish (0 keeps them until an explicit forget); overrides the config")
+		pprofAddr = flag.String("pprof", "", `serve net/http/pprof on this address (e.g. "127.0.0.1:6060") for live datapath profiling`)
 		example   = flag.Bool("example", false, "print an example config and exit")
 	)
 	flag.Parse()
 	if *example {
 		fmt.Print(exampleConfig)
 		return
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers registered by the
+			// net/http/pprof import; the control API runs on its own mux,
+			// so nothing else is exposed here.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "hrmcd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("hrmcd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	cfg, err := loadConfig(*cfgPath)
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+
+	"repro/internal/packet"
 )
 
 // gaugeFields are stats fields exposed as gauges; everything else is a
@@ -84,6 +86,16 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	add("hrmc_session_budget_bytes_per_second", sess.Budget(), true, "")
 	add("hrmc_session_flows", float64(len(flows)), true, "")
+
+	// Shared packet-pool activity: gets - puts is the number of packets
+	// currently checked out, so a leak in the zero-copy datapath shows
+	// up as a monotonically widening gap; news counts pool misses
+	// (fresh allocations).
+	pool := packet.PoolStats()
+	add("hrmc_packet_pool_gets", float64(pool.Gets), true, "")
+	add("hrmc_packet_pool_puts", float64(pool.Puts), true, "")
+	add("hrmc_packet_pool_news", float64(pool.News), true, "")
+	add("hrmc_packet_pool_outstanding", float64(pool.Gets-pool.Puts), true, "")
 
 	agg := s.mgr.Aggregate()
 	add("hrmc_total_sender_flows", float64(agg.SenderFlows), true, "")

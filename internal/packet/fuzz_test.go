@@ -48,3 +48,85 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBorrow checks the alias-decode path against the cloning
+// path on arbitrary bytes: both must accept and reject the same
+// inputs, an accepted borrow must be bit-exact with the clone while
+// genuinely aliasing the envelope buffer, and once a borrowed packet
+// is released to the pool, mutating the source buffer must not be
+// observable through packets subsequently handed out by the pool.
+func FuzzDecodeBorrow(f *testing.F) {
+	for _, ty := range Types() {
+		p := &Packet{Header: Header{
+			Type: ty, Seq: 4242, RateAdv: 17, SrcPort: 3, DstPort: 5,
+		}}
+		if ty == TypeData {
+			p.Payload = []byte("borrowed fuzz payload")
+			p.Length = uint32(len(p.Payload))
+		}
+		buf, err := p.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		mut := append([]byte(nil), buf...)
+		mut[0] ^= 0x01
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Borrow-decode from a private copy so post-release mutation
+		// below cannot be confused with the fuzzer reusing data.
+		src := append([]byte(nil), data...)
+		b := Get()
+		defer func() {
+			if b != nil {
+				Put(b)
+			}
+		}()
+		borrowErr := DecodeBorrow(b, src)
+
+		c := Get()
+		defer Put(c)
+		cloneErr := DecodeInto(c, data)
+
+		if (borrowErr == nil) != (cloneErr == nil) {
+			t.Fatalf("accept mismatch: DecodeBorrow=%v DecodeInto=%v", borrowErr, cloneErr)
+		}
+		if borrowErr != nil {
+			return
+		}
+		if b.Header != c.Header || !bytes.Equal(b.Payload, c.Payload) {
+			t.Fatalf("borrow differs from clone:\n %+v\n %+v", b, c)
+		}
+		if len(b.Payload) > 0 {
+			if !b.Borrowed() {
+				t.Fatal("non-empty payload decoded without the borrowed mark")
+			}
+			if &b.Payload[0] != &src[HeaderSize] {
+				t.Fatal("borrowed payload does not alias the envelope buffer")
+			}
+		}
+
+		// Release the borrow, then trash the source buffer. The pool
+		// must have dropped the borrowed backing on Put, so no packet
+		// it hands out afterwards may alias src: scribbling over a
+		// fresh packet's full payload capacity must leave src intact.
+		Put(b)
+		b = nil
+		for i := range src {
+			src[i] ^= 0xFF
+		}
+		want := append([]byte(nil), src...)
+		r := Get()
+		defer Put(r)
+		pl := r.Payload[:cap(r.Payload)]
+		for i := range pl {
+			pl[i] = 0xA5
+		}
+		if !bytes.Equal(src, want) {
+			t.Fatal("pool handed out a packet whose capacity aliases a released borrow")
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // HeaderSize is the encoded size of an RMC/H-RMC header in bytes.
@@ -145,7 +146,20 @@ type Header struct {
 type Packet struct {
 	Header
 	Payload []byte
+
+	// refs is the pool reference count (see pool.go), manipulated with
+	// sync/atomic functions. It is a plain int32 rather than an
+	// atomic.Int32 so Packet stays trivially copyable (Clone does
+	// `q := *p`).
+	refs int32
+	// borrowed marks a payload that aliases a caller-owned buffer
+	// (DecodeBorrow); Put drops such payloads instead of pooling them.
+	borrowed bool
 }
+
+// Borrowed reports whether the payload aliases a caller-owned buffer
+// (see DecodeBorrow) rather than being owned by the packet.
+func (p *Packet) Borrowed() bool { return p.borrowed }
 
 // URG reports whether the urgent flag is set.
 func (p *Header) URG() bool { return p.Flags&FlagURG != 0 }
@@ -169,9 +183,12 @@ func (p *Packet) String() string {
 		p.Type, p.Seq, p.Length, p.RateAdv, p.Tries, flags)
 }
 
-// Clone returns a deep copy of the packet.
+// Clone returns a deep copy of the packet. The copy owns its payload
+// and carries no pool references regardless of p's state.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.refs = 0
+	q.borrowed = false
 	if p.Payload != nil {
 		q.Payload = make([]byte, len(p.Payload))
 		copy(q.Payload, p.Payload)
@@ -181,12 +198,20 @@ func (p *Packet) Clone() *Packet {
 
 // CloneInto deep-copies p into q, reusing q's payload buffer when its
 // capacity suffices. It is the allocation-free companion of Clone for
-// pooled packets (transport.GetPacket/PutPacket): q's recycled payload
-// backing array absorbs the copy instead of a fresh allocation.
+// pooled packets (packet.Get/Put): q's recycled payload backing array
+// absorbs the copy instead of a fresh allocation. q's pool reference
+// count is preserved, and the copy owns its payload even when p's was
+// borrowed.
 func (p *Packet) CloneInto(q *Packet) {
-	buf := q.Payload[:0]
+	refs := atomic.LoadInt32(&q.refs)
+	var buf []byte
+	if !q.borrowed {
+		buf = q.Payload[:0]
+	}
 	*q = *p
+	q.borrowed = false
 	q.Payload = append(buf, p.Payload...)
+	atomic.StoreInt32(&q.refs, refs)
 }
 
 // Encoding and decoding errors.
@@ -241,13 +266,21 @@ func Decode(buf []byte) (*Packet, error) {
 
 // DecodeInto parses one packet from buf into p, reusing p's payload
 // buffer when its capacity suffices — the allocation-free companion of
-// Decode for pooled packets on batched receive paths. On error p is
-// left in an unspecified state (its payload buffer is still reusable).
+// Decode for pooled packets on batched receive paths. p's pool
+// reference count is preserved; a previously borrowed payload is
+// dropped rather than reused (its backing array belongs to someone
+// else). On error p is left in an unspecified state (its payload
+// buffer is still reusable).
 func DecodeInto(p *Packet, buf []byte) error {
+	refs := atomic.LoadInt32(&p.refs)
+	defer atomic.StoreInt32(&p.refs, refs)
 	if len(buf) < HeaderSize {
 		return ErrShortPacket
 	}
-	pl := p.Payload[:0]
+	var pl []byte
+	if !p.borrowed {
+		pl = p.Payload[:0]
+	}
 	*p = Packet{}
 	p.SrcPort = binary.BigEndian.Uint16(buf[0:2])
 	p.DstPort = binary.BigEndian.Uint16(buf[2:4])
@@ -267,6 +300,49 @@ func DecodeInto(p *Packet, buf []byte) error {
 	}
 	if payload := buf[HeaderSize:]; len(payload) > 0 {
 		p.Payload = append(pl, payload...)
+	}
+	if p.Type == TypeData && p.Length != uint32(len(p.Payload)) {
+		return ErrLengthField
+	}
+	return nil
+}
+
+// DecodeBorrow parses one packet from buf into p like DecodeInto, but
+// the payload aliases buf[HeaderSize:] instead of being copied — the
+// zero-copy decode for receive paths that consume a packet before its
+// envelope buffer is reused. The packet is marked borrowed: Put drops
+// the aliased payload instead of capturing buf's backing array into
+// the pool, and CloneInto/DecodeInto will not write into it.
+//
+// Ownership: the caller must guarantee buf stays untouched until it is
+// done with p (for pooled packets, until the final Put). Mutating buf
+// while p is live is observable through p.Payload; mutating it after
+// Put is not, because the pool never retains borrowed payloads.
+func DecodeBorrow(p *Packet, buf []byte) error {
+	refs := atomic.LoadInt32(&p.refs)
+	defer atomic.StoreInt32(&p.refs, refs)
+	if len(buf) < HeaderSize {
+		return ErrShortPacket
+	}
+	*p = Packet{}
+	p.SrcPort = binary.BigEndian.Uint16(buf[0:2])
+	p.DstPort = binary.BigEndian.Uint16(buf[2:4])
+	p.Seq = binary.BigEndian.Uint32(buf[4:8])
+	p.RateAdv = binary.BigEndian.Uint32(buf[8:12])
+	p.Length = binary.BigEndian.Uint32(buf[12:16])
+	p.Checksum = binary.BigEndian.Uint16(buf[16:18])
+	p.Tries = buf[18]
+	p.Type = Type(buf[19] & typeMask)
+	p.Flags = buf[19] & flagMask
+	if !p.Type.Valid() {
+		return ErrBadType
+	}
+	if err := verifyChecksum(buf); err != nil {
+		return err
+	}
+	if payload := buf[HeaderSize:]; len(payload) > 0 {
+		p.Payload = payload
+		p.borrowed = true
 	}
 	if p.Type == TypeData && p.Length != uint32(len(p.Payload)) {
 		return ErrLengthField

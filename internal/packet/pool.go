@@ -1,0 +1,155 @@
+// Shared reference-counted packet pool. This is the allocation backbone
+// of the zero-copy datapath: every hot path — transport receive loops,
+// the sender's write-side chunking, the receive window's hold-until-
+// release buffering — draws packets from one pool and returns them with
+// an explicit Put, so a payload backing array is allocated once per
+// buffer lifetime and then circulates, the way the paper's kernel
+// module recycles sk_buffs instead of allocating per packet.
+//
+// Ownership rules:
+//
+//   - Get hands out a packet with one reference. Put drops a
+//     reference; the packet is recycled when the last reference drops.
+//     Retain adds a reference for a second concurrent holder (e.g. the
+//     session's shared send poller keeping a window-owned packet alive
+//     while a concurrent release races it).
+//   - A packet that never came from the pool (plain &Packet{}) may
+//     still be Put: it is absorbed into the pool, payload and all.
+//     That is how GC-allocated packets from the sans-I/O machines
+//     seed pool capacity instead of churning the collector.
+//   - After the final Put the packet and its payload must not be
+//     touched: the pool will hand both to an unrelated path.
+//   - A borrowed packet (DecodeBorrow) aliases a caller-owned envelope
+//     buffer; Put drops the alias instead of capturing the foreign
+//     backing array, so later mutation of the envelope buffer can
+//     never be observed through the pool.
+//
+// The Gets/Puts/News counters are process-wide and monotonically
+// increasing; `gets - puts` is the number of packets currently checked
+// out, which the control plane exports so buffer leaks are visible in
+// production.
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The pool is split by payload ownership so capacity lands where it is
+// needed: bufPool holds packets that own a payload backing array
+// (senders chunking app data, transports cloning for delivery), while
+// barePool holds packets with no payload capacity — control packets and
+// borrowed-decode packets whose alias was dropped at Put. Get serves
+// alias/zero-payload users from barePool first; GetBuf serves copying
+// users from bufPool first. Without the split, a borrowed-receive
+// packet recycled into a sender's Write would arrive with nil payload
+// and force a fresh backing-array allocation per packet.
+var (
+	bufPool  sync.Pool
+	barePool sync.Pool
+)
+
+func poolGet(primary, fallback *sync.Pool) *Packet {
+	if v := primary.Get(); v != nil {
+		return v.(*Packet)
+	}
+	if v := fallback.Get(); v != nil {
+		return v.(*Packet)
+	}
+	poolNews.Add(1)
+	return new(Packet)
+}
+
+var (
+	poolGets atomic.Int64
+	poolPuts atomic.Int64
+	poolNews atomic.Int64
+)
+
+// PoolCounters is a snapshot of the shared pool's activity counters.
+type PoolCounters struct {
+	// Gets counts packets handed out by Get.
+	Gets int64
+	// Puts counts packets recycled by the final Put.
+	Puts int64
+	// News counts pool misses — packets freshly allocated because the
+	// pool was empty.
+	News int64
+}
+
+// PoolStats returns the current pool counters. Gets - Puts is the
+// number of packets currently checked out.
+func PoolStats() PoolCounters {
+	return PoolCounters{
+		Gets: poolGets.Load(),
+		Puts: poolPuts.Load(),
+		News: poolNews.Load(),
+	}
+}
+
+// Get takes a packet from the shared pool with one reference. The
+// header is zeroed; the payload slice is empty but usually has no
+// capacity — Get is for callers that alias a payload (DecodeBorrow) or
+// build payload-less control packets. Callers that copy bytes into the
+// payload should use GetBuf.
+func Get() *Packet {
+	poolGets.Add(1)
+	p := poolGet(&barePool, &bufPool)
+	atomic.StoreInt32(&p.refs, 1)
+	return p
+}
+
+// GetBuf takes a packet from the shared pool with one reference and a
+// zero-length payload of capacity at least n, preferring packets that
+// already own a backing array so copy-side hot paths (sender chunking,
+// transport cloning) reuse arrays instead of allocating per packet.
+func GetBuf(n int) *Packet {
+	poolGets.Add(1)
+	p := poolGet(&bufPool, &barePool)
+	atomic.StoreInt32(&p.refs, 1)
+	if cap(p.Payload) < n {
+		p.Payload = make([]byte, 0, n)
+	}
+	return p
+}
+
+// Retain adds a reference to p, deferring recycling until a matching
+// Put. Retaining a packet that never came from Get gives it one
+// tracked reference, so the next Put recycles it.
+func Retain(p *Packet) {
+	atomic.AddInt32(&p.refs, 1)
+}
+
+// Put drops one reference to p and recycles it into the shared pool
+// when no references remain, keeping its payload capacity for reuse
+// (borrowed payloads are dropped instead — see DecodeBorrow). Putting
+// nil is a no-op. Putting a packet something still references without
+// a covering Retain is a use-after-free bug: the payload bytes will be
+// overwritten by an unrelated path.
+func Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	n := atomic.AddInt32(&p.refs, -1)
+	if n > 0 {
+		return
+	}
+	// n == 0 closes out a tracked reference from Get/Retain; n < 0 is a
+	// never-tracked packet being absorbed (a donation, not a checkin),
+	// which must not count against Gets or gets==puts balance checks
+	// would see phantom double-frees.
+	if n == 0 {
+		poolPuts.Add(1)
+	}
+	var pl []byte
+	if !p.borrowed {
+		pl = p.Payload[:0]
+	}
+	*p = Packet{}
+	p.Payload = pl
+	if cap(pl) > 0 {
+		bufPool.Put(p)
+	} else {
+		barePool.Put(p)
+	}
+}

@@ -104,6 +104,15 @@ type Config struct {
 	// racing them.
 	FECGroupSize int
 
+	// RecyclePackets makes the receiver return retained data packets to
+	// the shared pool (packet.Put) once the application consumes them —
+	// the zero-copy hold-until-release path. Enable only when every
+	// packet fed to HandlePacket/HandleEnvelope is pool-owned (the
+	// session's batched receive loop guarantees this). It is ignored
+	// when FEC or local recovery is on: their recovery cache aliases
+	// stored payloads past consumption.
+	RecyclePackets bool
+
 	// Stats receives counters; nil allocates a private set.
 	Stats *stats.Receiver
 	// Trace receives protocol events; nil disables tracing.
@@ -224,6 +233,9 @@ func New(cfg Config) *Receiver {
 	if cfg.FECGroupSize > 0 || cfg.LocalRecovery {
 		r.fecCache = make(map[seqspace.Seq][]byte)
 	}
+	if cfg.RecyclePackets && r.fecCache == nil {
+		r.wnd.SetRecycle(true)
+	}
 	if cfg.LocalRecovery {
 		seed := cfg.RecoverySeed
 		if seed == 0 {
@@ -290,6 +302,17 @@ func (r *Receiver) emit(p *packet.Packet) {
 // HandlePacket processes one packet from the sender. It corresponds to
 // hrmc_master_rcv on the receive path.
 func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
+	_, err := r.HandleEnvelope(now, p)
+	return err
+}
+
+// HandleEnvelope is HandlePacket for pool-owned packets: it
+// additionally reports whether the machine retained p (stored it in
+// the receive window, to be released when the application consumes
+// it). When retained is false the caller still owns p and should
+// release it (packet.Put); when true, ownership transferred to the
+// machine.
+func (r *Receiver) HandleEnvelope(now sim.Time, p *packet.Packet) (retained bool, err error) {
 	// An unconfigured RemotePort is learned from the sender's source
 	// port, the way a connected socket learns its peer — only from
 	// sender-originated types, so a peer's multicast NAK (local
@@ -304,7 +327,7 @@ func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
 	}
 	switch p.Type {
 	case packet.TypeData:
-		r.onData(now, p)
+		retained = r.onData(now, p)
 	case packet.TypeKeepalive:
 		r.onKeepalive(now, p)
 	case packet.TypeProbe:
@@ -315,10 +338,12 @@ func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
 		r.leaveAcked = true
 	case packet.TypeNak:
 		if !r.cfg.LocalRecovery {
-			return ErrNotData
+			return false, ErrNotData
 		}
 		r.onPeerNak(now, p)
 	case packet.TypeFec:
+		// Recovery copies the parity payload (fec.Recover builds a fresh
+		// rebuilt packet), so the parity packet itself is never retained.
 		r.onFec(now, p)
 	case packet.TypeNakErr:
 		// The sender released data we still need: under H-RMC this is a
@@ -326,12 +351,13 @@ func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
 		// RMC baseline documents it as an application-visible error.
 		// Counted via stats (no counter increment needed beyond naks).
 	default:
-		return ErrNotData
+		return false, ErrNotData
 	}
-	return nil
+	return retained, nil
 }
 
-func (r *Receiver) onData(now sim.Time, p *packet.Packet) {
+// onData reports whether p was stored in the receive window (retained).
+func (r *Receiver) onData(now sim.Time, p *packet.Packet) bool {
 	r.advRate = p.RateAdv
 	firstData := !r.joined
 	r.seenAnyData = true
@@ -351,10 +377,10 @@ func (r *Receiver) onData(now sim.Time, p *packet.Packet) {
 	switch res {
 	case window.Duplicate:
 		r.st.Duplicates++
-		return
+		return false
 	case window.OutOfWindow:
 		r.st.OutOfWindow++
-		return
+		return false
 	}
 	r.st.DataReceived++
 	if r.fecCache != nil {
@@ -368,6 +394,7 @@ func (r *Receiver) onData(now sim.Time, p *packet.Packet) {
 		_ = p
 	}
 	r.maybeRateRequest(now)
+	return true
 }
 
 // syncNakList reconciles the pending NAK list with the window's missing
@@ -860,6 +887,11 @@ func (r *Receiver) Read(now sim.Time, buf []byte) (int, error) {
 
 // Buffered returns the number of in-order packets awaiting Read.
 func (r *Receiver) Buffered() int { return r.wnd.Buffered() }
+
+// ReleaseBuffers drops every buffered packet, returning retained pool
+// packets to the pool. It is for teardown of an aborted flow only; the
+// machine must not be used afterwards.
+func (r *Receiver) ReleaseBuffers() { r.wnd.ReleaseAll() }
 
 // Window exposes the receive window for inspection in tests and stats.
 func (r *Receiver) Window() *window.ReceiveWindow { return r.wnd }

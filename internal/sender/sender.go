@@ -137,6 +137,13 @@ type Dest struct {
 type Out struct {
 	Pkt  *packet.Packet
 	Dest Dest
+	// Windowed marks a packet still owned by the send window (a DATA
+	// transmission or retransmission emitted without cloning). The
+	// driver must not hold Pkt or its payload past the point where it
+	// hands control back to the machine, unless it covers the overlap
+	// with packet.Retain: the window releases (packet.Put) the buffer
+	// as soon as feedback allows.
+	Windowed bool
 }
 
 // retransReq is one queued retransmission range; notBefore defers it
@@ -183,6 +190,12 @@ type Sender struct {
 	// cut again (the rate-based analogue of TCP's one-cut-per-window).
 	cutEpoch    seqspace.Seq
 	cutEpochSet bool
+	// departed records the final cumulative state of members that left,
+	// so the stale-NAK guard in onNak still recognises a straggler
+	// (reordered or duplicated) NAK from a receiver that has since sent
+	// LEAVE — without it, release after the last LEAVE empties the
+	// window and the straggler would earn a spurious NAK_ERR.
+	departed map[packet.NodeID]seqspace.Seq
 
 	// fenc is the FEC parity encoder (extension), nil when disabled.
 	fenc *fec.Encoder
@@ -255,11 +268,34 @@ func (s *Sender) Outgoing() []Out {
 // HasOutgoing reports whether packets are queued.
 func (s *Sender) HasOutgoing() bool { return len(s.out) > 0 }
 
+// Recycle gives a slice obtained from Outgoing back to the sender so
+// emit reuses its capacity instead of regrowing from nil every drain
+// cycle. The caller must be completely done with the slice; drivers
+// that keep the slice (or don't care) simply never call it.
+func (s *Sender) Recycle(out []Out) {
+	if s.out != nil || cap(out) == 0 {
+		return
+	}
+	for i := range out {
+		out[i] = Out{}
+	}
+	s.out = out[:0]
+}
+
 func (s *Sender) emit(p *packet.Packet, d Dest) {
 	p.SrcPort = s.cfg.LocalPort
 	p.DstPort = s.cfg.RemotePort
 	p.RateAdv = s.rc.Advertised()
 	s.out = append(s.out, Out{Pkt: p, Dest: d})
+}
+
+// emitWindowed queues a window-owned packet without cloning it (see
+// Out.Windowed).
+func (s *Sender) emitWindowed(p *packet.Packet, d Dest) {
+	p.SrcPort = s.cfg.LocalPort
+	p.DstPort = s.cfg.RemotePort
+	p.RateAdv = s.rc.Advertised()
+	s.out = append(s.out, Out{Pkt: p, Dest: d, Windowed: true})
 }
 
 // Write fragments b into DATA packets and inserts them into the send
@@ -277,13 +313,16 @@ func (s *Sender) Write(now sim.Time, b []byte) int {
 		if chunk > s.cfg.MSS {
 			chunk = s.cfg.MSS
 		}
-		payload := make([]byte, chunk)
-		copy(payload, b[n:n+chunk])
-		p := &packet.Packet{
-			Header:  packet.Header{Type: packet.TypeData, Length: uint32(chunk)},
-			Payload: payload,
-		}
+		// Chunk straight into a pooled packet: the payload backing array
+		// is allocated (or recycled) once and lives until the window
+		// releases the packet — one allocation per buffer lifetime, the
+		// hold-until-release discipline of the paper's sk_buff handling.
+		p := packet.GetBuf(chunk)
+		p.Type = packet.TypeData
+		p.Length = uint32(chunk)
+		p.Payload = append(p.Payload[:0], b[n:n+chunk]...)
 		if _, err := s.wnd.Insert(p); err != nil {
+			packet.Put(p)
 			break
 		}
 		n += chunk
@@ -307,12 +346,14 @@ func (s *Sender) tryQueueFIN() {
 	if !s.pendingFIN {
 		return
 	}
-	p := &packet.Packet{
-		Header: packet.Header{Type: packet.TypeData, Flags: packet.FlagFIN},
-	}
+	p := packet.Get()
+	p.Type = packet.TypeData
+	p.Flags = packet.FlagFIN
 	if _, err := s.wnd.Insert(p); err == nil {
 		s.pendingFIN = false
 		s.finQueued = true
+	} else {
+		packet.Put(p)
 	}
 }
 
@@ -376,6 +417,12 @@ func (s *Sender) onJoin(now sim.Time, from packet.NodeID, p *packet.Packet) {
 func (s *Sender) onLeave(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.st.LeavesReceived++
 	s.members.Update(from, seqspace.Seq(p.Seq), now)
+	if m := s.members.Lookup(from); m != nil && m.KnownState {
+		if s.departed == nil {
+			s.departed = make(map[packet.NodeID]seqspace.Seq)
+		}
+		s.departed[from] = m.NextExpected
+	}
 	s.members.Remove(from)
 	trace.Emit(s.cfg.Trace, now, trace.MemberLeft, p.Seq, int64(s.members.Len()))
 	s.emit(&packet.Packet{Header: packet.Header{
@@ -405,7 +452,20 @@ func (s *Sender) onNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	// base has been released.
 	if seqspace.Before(gap.From, s.wnd.Base()) {
 		if seqspace.AtOrBefore(gap.To, s.wnd.Base()) {
-			// Entirely released: the request cannot be satisfied.
+			// Entirely released. If the requester's own (monotonic)
+			// recorded state already covers the range, this NAK is a
+			// reordered stale report of a loss the receiver has since
+			// recovered from — there is nothing to repair and nothing to
+			// mourn, so it is dropped. Only an uncovered request for
+			// released data earns a NAK_ERR.
+			if m := s.members.Lookup(from); m != nil {
+				if m.KnownState && seqspace.AtOrAfter(m.NextExpected, gap.To) {
+					return
+				}
+			} else if ne, ok := s.departed[from]; ok && seqspace.AtOrAfter(ne, gap.To) {
+				return
+			}
+			// The request cannot be satisfied.
 			s.st.NakErrsSent++
 			trace.Emit(s.cfg.Trace, now, trace.NakErrSent, p.Seq, 0)
 			s.emit(&packet.Packet{Header: packet.Header{
@@ -448,7 +508,13 @@ func (s *Sender) onControl(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.members.Update(from, seqspace.Seq(p.Seq), now)
 	if p.URG() {
 		s.st.UrgentReceived++
-		s.rc.OnUrgent(now, s.pacingRTT())
+		// The urgent stop spans two round trips of network quiet; it is
+		// not a timer-granular pacing decision, so the measured RTT is
+		// used unfloored — on a fast network a transiently overrun
+		// receiver costs microseconds of quiet, not two jiffies. A
+		// still-critical receiver extends the stop with further urgent
+		// requests.
+		s.rc.OnUrgent(now, s.est.RTT())
 		trace.Emit(s.cfg.Trace, now, trace.RateStopped, p.Seq, 0)
 	} else {
 		s.st.RateRequestsReceived++
@@ -597,14 +663,18 @@ func (s *Sender) retransmit(now sim.Time, allowance int) (int, bool) {
 	return allowance, sent
 }
 
-// transmit multicasts one window entry.
+// transmit multicasts one window entry. The window packet itself is
+// emitted (no clone): the driver copies or encodes it before the next
+// machine entry point runs, and the retransmit guard (half an RTT
+// between transmissions of one sequence) keeps a single buffer from
+// being emitted twice in one drain.
 func (s *Sender) transmit(now sim.Time, seq seqspace.Seq, e *window.SendEntry, isRetrans bool) {
 	e.Tries++
 	if e.Tries == 1 {
 		e.FirstSent = now
 	}
 	e.LastSent = now
-	pkt := e.Pkt.Clone()
+	pkt := e.Pkt
 	pkt.Seq = uint32(seq)
 	pkt.Tries = uint8(min(e.Tries-1, 255))
 	if isRetrans {
@@ -616,7 +686,7 @@ func (s *Sender) transmit(now sim.Time, seq seqspace.Seq, e *window.SendEntry, i
 		s.st.BytesSent += int64(len(pkt.Payload))
 		trace.Emit(s.cfg.Trace, now, trace.SendData, pkt.Seq, int64(len(pkt.Payload)))
 	}
-	s.emit(pkt, Dest{Multicast: true})
+	s.emitWindowed(pkt, Dest{Multicast: true})
 	if !isRetrans && s.fenc != nil {
 		// FEC extension: parity covers first transmissions only and is
 		// itself best-effort (never retransmitted, not counted against
@@ -649,42 +719,91 @@ func (s *Sender) tryRelease(now sim.Time) {
 		if e == nil || !e.Sent() {
 			return
 		}
-		if now-e.LastSent < minHold {
-			if s.cfg.Mode == HRMC && s.cfg.EarlyProbeRTTs > 0 {
-				s.maybeEarlyProbe(now, minHold)
-			}
-			return
-		}
 		seq := s.wnd.Base()
 		complete := s.members.AllPast(seq)
-		// Figure 3 metric: judge each packet once, at the moment its
-		// MINBUF deadline first passes, regardless of mode and of
-		// whether the release then proceeds.
-		if seq == s.judged {
-			s.st.Releases++
-			if complete {
+		joined := s.cfg.ExpectedReceivers <= 0 || s.maxJoined >= s.cfg.ExpectedReceivers
+		if now-e.LastSent < minHold {
+			// Early release, for known populations only: the MINBUF hold
+			// keeps the packet available for repair while the member
+			// picture may still grow (a JOIN in flight) or shift. With
+			// ExpectedReceivers set, once that many receivers have joined
+			// and every current member's cumulative state covers seq, the
+			// picture is provably final — no receiver that matters can
+			// still NAK it — so H-RMC frees the buffer ahead of the
+			// deadline. Unknown populations (and RMC, which has no member
+			// state) always wait out the timer: the hold is their grace
+			// period for late joiners. An entry transmitted at this very
+			// timestamp is never released: it may still sit un-drained
+			// (and un-retained) in the outgoing queue, and freeing it
+			// would zero the emitted packet under the driver.
+			known := s.cfg.ExpectedReceivers > 0 && s.maxJoined >= s.cfg.ExpectedReceivers
+			if s.cfg.Mode != HRMC || !known || !complete || now == e.LastSent {
+				if s.cfg.Mode == HRMC && s.cfg.EarlyProbeRTTs > 0 {
+					s.maybeEarlyProbe(now, minHold)
+				}
+				return
+			}
+			if seq == s.judged {
+				s.st.Releases++
 				s.st.ReleasesCompleteInfo++
+				s.judged++
 			}
-			s.judged++
-		}
-		if s.cfg.Mode == HRMC {
-			if s.cfg.ExpectedReceivers > 0 && s.maxJoined < s.cfg.ExpectedReceivers {
-				s.st.ReleaseStalls++
-				s.stalled = true
-				return
+		} else {
+			// Figure 3 metric: judge each packet once, at the moment its
+			// MINBUF deadline first passes, regardless of mode and of
+			// whether the release then proceeds.
+			if seq == s.judged {
+				s.st.Releases++
+				if complete {
+					s.st.ReleasesCompleteInfo++
+				}
+				s.judged++
 			}
-			if !complete {
-				s.st.ReleaseStalls++
-				s.stalled = true
-				trace.Emit(s.cfg.Trace, now, trace.ReleaseStall, uint32(seq), 0)
-				s.probeLacking(now, seq)
-				return
+			if s.cfg.Mode == HRMC {
+				if !joined {
+					s.st.ReleaseStalls++
+					s.stalled = true
+					return
+				}
+				if !complete {
+					s.st.ReleaseStalls++
+					s.stalled = true
+					trace.Emit(s.cfg.Trace, now, trace.ReleaseStall, uint32(seq), 0)
+					s.probeLacking(now, seq)
+					return
+				}
 			}
 		}
 		// RMC releases on the timer alone; a NAK for the data later
 		// earns a NAK_ERR.
 		e = s.wnd.Release()
 		trace.Emit(s.cfg.Trace, now, trace.Release, uint32(seq), int64(e.Pkt.WireSize()))
+		// The window's reference is done; the pool recycles the buffer
+		// once any in-flight send (shared poller) drops its Retain.
+		packet.Put(e.Pkt)
+		e.Pkt = nil
+	}
+}
+
+// TryRelease attempts window release outside the tick, with the same
+// rules as the Transmitter's release step. Drivers call it right after
+// feeding feedback (HandlePacket) so a blocked Write unblocks the
+// moment an UPDATE completes the membership picture, instead of up to
+// a jiffy later on the next tick.
+func (s *Sender) TryRelease(now sim.Time) { s.tryRelease(now) }
+
+// ReleaseBuffers force-releases every buffered packet back to the
+// pool, bypassing the reliability rules. It is for teardown of an
+// aborted flow only: the machine must not be asked to transmit
+// afterwards.
+func (s *Sender) ReleaseBuffers() {
+	for {
+		e := s.wnd.Release()
+		if e == nil {
+			return
+		}
+		packet.Put(e.Pkt)
+		e.Pkt = nil
 	}
 }
 

@@ -53,10 +53,12 @@ type anyFlow interface {
 	base() *flow
 	tick(now sim.Time)
 	// handleBatch feeds one receive batch's worth of packets to the
-	// protocol machine under a single flow-lock acquisition, flushing
+	// protocol machine under a single flow-lock acquisition, staging
 	// outgoing traffic once at the end. The flow takes ownership of
-	// the envelopes' packets (the machines may retain payloads, so
-	// they are never released back to the pool from here).
+	// the envelopes' packets and releases every packet the machine did
+	// not retain; retained data packets (the receive window's
+	// hold-until-release buffering) are released when the application
+	// consumes them.
 	handleBatch(now sim.Time, env []transport.Envelope)
 	snapshot() FlowSnapshot
 	drainClose() error
@@ -79,9 +81,10 @@ type flow struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	err  error
-	// envScratch is the reusable outgoing batch buffer flushLocked
-	// fills and SendBatch consumes; guarded by mu.
-	envScratch []transport.Envelope
+	// itemScratch is the reusable staging buffer flushLocked fills and
+	// enqueueSend copies onto the session's shared send queue; guarded
+	// by mu.
+	itemScratch []outItem
 }
 
 func (f *flow) init(s *Session, kind Kind, tr transport.Transport, port uint16, opts []FlowOption) {
@@ -97,17 +100,33 @@ func (f *flow) init(s *Session, kind Kind, tr transport.Transport, port uint16, 
 	}
 }
 
-// sendEnvelopes ships a staged outgoing batch through the transport's
-// batch interface and clears the scratch slots. Caller holds f.mu.
-func (f *flow) sendEnvelopes(env []transport.Envelope) {
-	if len(env) == 0 {
-		return
+// stage appends one outgoing packet to the scratch staging buffer.
+// Caller holds f.mu. The header is copied by value so later machine
+// mutation cannot race the poller's send; windowed packets (still
+// owned by the send window) get a covering Retain, every other packet
+// transfers its ownership to the poller's post-send Put.
+func (f *flow) stage(items []outItem, p *packet.Packet, windowed, multicast bool, to packet.NodeID) []outItem {
+	if windowed {
+		packet.Retain(p)
 	}
-	_ = f.bt.SendBatch(env)
-	for i := range env {
-		env[i] = transport.Envelope{}
+	return append(items, outItem{
+		bt:        f.bt,
+		hdr:       p.Header,
+		payload:   p.Payload,
+		owner:     p,
+		multicast: multicast,
+		to:        to,
+	})
+}
+
+// ship hands the staged items to the session's shared send poller and
+// clears the scratch slots. Caller holds f.mu.
+func (f *flow) ship(items []outItem) {
+	f.sess.enqueueSend(items)
+	for i := range items {
+		items[i] = outItem{}
 	}
-	f.envScratch = env[:0]
+	f.itemScratch = items[:0]
 }
 
 func (f *flow) base() *flow { return f }
@@ -165,6 +184,11 @@ const govHeadroom = 2
 func (f *SenderFlow) tickSender(now sim.Time, share float64, haveShare, governed bool) (shareReq, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.err != nil {
+		// A failed (aborted) flow's machine is quiescent — its buffers
+		// may already be back in the pool.
+		return shareReq{}, false
+	}
 	switch {
 	case governed && haveShare && share > 0:
 		if f.capCeiling > 0 && share > f.capCeiling {
@@ -200,12 +224,25 @@ func (f *SenderFlow) tickSender(now sim.Time, share float64, haveShare, governed
 
 func (f *SenderFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 	f.mu.Lock()
+	if f.err != nil {
+		f.mu.Unlock()
+		transport.ReleaseEnvelopes(env)
+		return
+	}
 	for i := range env {
 		f.m.HandlePacket(now, env[i].From, env[i].Pkt)
 	}
+	// Release on feedback, not on the next tick: when an UPDATE just
+	// completed the membership picture for the window front, this frees
+	// window space (and wakes a blocked Write) immediately instead of
+	// up to a jiffy later — the difference between latency-bound and
+	// rate-bound single-flow throughput.
+	f.m.TryRelease(now)
 	f.flushLocked()
 	f.cond.Broadcast()
 	f.mu.Unlock()
+	// The sender machine never retains feedback packets.
+	transport.ReleaseEnvelopes(env)
 }
 
 func (f *SenderFlow) flushLocked() {
@@ -213,11 +250,14 @@ func (f *SenderFlow) flushLocked() {
 	if len(outs) == 0 {
 		return
 	}
-	env := f.envScratch[:0]
+	items := f.itemScratch[:0]
 	for _, o := range outs {
-		env = append(env, transport.Envelope{Pkt: o.Pkt, Multicast: o.Dest.Multicast, To: o.Dest.Node})
+		items = f.stage(items, o.Pkt, o.Windowed, o.Dest.Multicast, o.Dest.Node)
 	}
-	f.sendEnvelopes(env)
+	// The headers are staged by value and the packets covered by their
+	// own references, so the drained slice can go straight back.
+	f.m.Recycle(outs)
+	f.ship(items)
 }
 
 // SetWeight re-points the flow's fair-share weight under the session
@@ -284,15 +324,36 @@ func (f *SenderFlow) Write(b []byte) (int, error) {
 func (f *SenderFlow) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.err != nil {
+		// Aborted (or transport-failed): the machine is quiescent and
+		// its buffers are back in the pool — queueing a FIN into the
+		// dead window would strand the packet.
+		return f.err
+	}
 	f.m.Close(f.sess.now())
+	// Ship the FIN now instead of leaving it for the next shared tick: on
+	// a short stream the FIN is the packet the receivers' end-of-stream
+	// (and so the final UPDATE that drains the window) is waiting on.
+	f.m.Tick(f.sess.now())
+	f.flushLocked()
 	for !f.m.Done() && f.err == nil {
 		f.cond.Wait()
 	}
 	return f.err
 }
 
-// Abort tears the flow down without waiting for delivery.
-func (f *SenderFlow) Abort() { f.fail(ErrAborted) }
+// Abort tears the flow down without waiting for delivery, returning
+// its buffered window packets to the shared pool. In-flight sends the
+// poller staged before the abort finish on their own references.
+func (f *SenderFlow) Abort() {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = ErrAborted
+	}
+	f.m.ReleaseBuffers()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
 
 // Detach unbinds the flow from the session, freeing its port and
 // dropping it from Snapshot.
@@ -344,20 +405,33 @@ type ReceiverFlow struct {
 
 func (f *ReceiverFlow) tick(now sim.Time) {
 	f.mu.Lock()
-	f.m.Advance(now)
-	f.flushLocked()
+	if f.err == nil {
+		f.m.Advance(now)
+		f.flushLocked()
+	}
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
 
 func (f *ReceiverFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 	f.mu.Lock()
+	if f.err != nil {
+		// An aborted flow's window may already have released its
+		// buffers; feeding it would re-retain into a dead machine.
+		f.mu.Unlock()
+		transport.ReleaseEnvelopes(env)
+		return
+	}
 	if !f.senderSet && len(env) > 0 {
 		f.senderSet = true
 		f.sender = env[0].From
 	}
 	for i := range env {
-		_ = f.m.HandlePacket(now, env[i].Pkt)
+		retained, _ := f.m.HandleEnvelope(now, env[i].Pkt)
+		if !retained {
+			transport.PutPacket(env[i].Pkt)
+		}
+		env[i] = transport.Envelope{}
 	}
 	f.flushLocked()
 	f.cond.Broadcast()
@@ -365,18 +439,18 @@ func (f *ReceiverFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 }
 
 func (f *ReceiverFlow) flushLocked() {
-	env := f.envScratch[:0]
+	items := f.itemScratch[:0]
 	for _, p := range f.m.OutgoingMulticast() {
-		env = append(env, transport.Envelope{Pkt: p, Multicast: true})
+		items = f.stage(items, p, false, true, 0)
 	}
 	// Unicast feedback stays queued in the machine until the sender's
 	// node ID is learned from its first packet.
 	if f.senderSet {
 		for _, p := range f.m.Outgoing() {
-			env = append(env, transport.Envelope{Pkt: p, To: f.sender})
+			items = f.stage(items, p, false, false, f.sender)
 		}
 	}
-	f.sendEnvelopes(env)
+	f.ship(items)
 }
 
 // Read delivers in-order stream bytes, blocking until data is
@@ -434,4 +508,15 @@ func (f *ReceiverFlow) snapshot() FlowSnapshot {
 }
 
 func (f *ReceiverFlow) drainClose() error { return f.Close() }
-func (f *ReceiverFlow) abort()            { _ = f.Close() }
+
+// abort tears the flow down and returns its buffered (unread) packets
+// to the shared pool, unlike Close, which keeps them readable.
+func (f *ReceiverFlow) abort() {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = ErrClosed
+	}
+	f.m.ReleaseBuffers()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}

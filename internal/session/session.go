@@ -94,9 +94,36 @@ type Session struct {
 	// acquisition per flow.
 	shares map[*SenderFlow]float64
 
+	// sendq is the shared outgoing staging queue: every flow's
+	// flushLocked appends ready packets here (header by value, payload
+	// by reference, pool ownership covered by Retain) and the single
+	// send poller drains it into per-transport SendBatch calls. One
+	// poller goroutine serves every flow, so goroutine count is
+	// O(transports), not O(flows).
+	sendMu     sync.Mutex
+	sendq      []outItem
+	sendNotify chan struct{} // capacity 1: "sendq may be non-empty"
+
 	quit     chan struct{}
 	quitOnce sync.Once
-	wg       sync.WaitGroup
+	// pollerDone closes when the send poller has shipped its final
+	// drain; shutdown waits on it before closing transports so staged
+	// farewells (a receiver's EOF-time UPDATE+LEAVE) reach the wire.
+	pollerDone chan struct{}
+	wg         sync.WaitGroup
+}
+
+// outItem is one staged outgoing packet. The header is copied by value
+// under the flow lock, so later machine mutation (retransmission Tries
+// bumps) cannot race the send; the payload is aliased, kept alive by
+// the owner reference the poller releases after the send.
+type outItem struct {
+	bt        transport.BatchTransport
+	hdr       packet.Header
+	payload   []byte
+	owner     *packet.Packet
+	multicast bool
+	to        packet.NodeID
 }
 
 // New creates a session and starts its shared tick loop.
@@ -105,13 +132,16 @@ func New(cfg Config) *Session {
 		cfg.TickInterval = DefaultTickInterval
 	}
 	s := &Session{
-		cfg:   cfg,
-		start: time.Now(),
-		loops: make(map[transport.Transport]*recvLoop),
-		quit:  make(chan struct{}),
+		cfg:        cfg,
+		start:      time.Now(),
+		loops:      make(map[transport.Transport]*recvLoop),
+		sendNotify: make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		pollerDone: make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.runTicks()
+	go s.runSendPoller()
 	return s
 }
 
@@ -176,6 +206,107 @@ func (s *Session) tickAll() {
 	s.mu.Lock()
 	s.shares = next
 	s.mu.Unlock()
+}
+
+// enqueueSend stages a flow's ready packets on the shared send queue
+// and wakes the poller. items' values are copied; the caller may reuse
+// its scratch slice as soon as this returns.
+func (s *Session) enqueueSend(items []outItem) {
+	if len(items) == 0 {
+		return
+	}
+	s.sendMu.Lock()
+	s.sendq = append(s.sendq, items...)
+	s.sendMu.Unlock()
+	select {
+	case s.sendNotify <- struct{}{}:
+	default:
+	}
+}
+
+// runSendPoller is the single shared send driver: it drains the staged
+// queue, groups consecutive items by transport, and ships each run
+// through one SendBatch call. SendBatch only borrows its envelopes for
+// the call, so the poller rebuilds them from scratch packets (header
+// by value, payload aliased) and releases every item's owner reference
+// right after the send.
+func (s *Session) runSendPoller() {
+	defer s.wg.Done()
+	defer close(s.pollerDone)
+	var local []outItem
+	var env []transport.Envelope
+	var pkts []packet.Packet
+	drain := func() {
+		s.sendMu.Lock()
+		local = append(local[:0], s.sendq...)
+		for i := range s.sendq {
+			s.sendq[i] = outItem{}
+		}
+		s.sendq = s.sendq[:0]
+		s.sendMu.Unlock()
+		env, pkts = sendItems(local, env, pkts)
+		for i := range local {
+			local[i] = outItem{}
+		}
+	}
+	for {
+		select {
+		case <-s.sendNotify:
+		case <-s.quit:
+			// Ship, don't drop: drained flows stage their farewells
+			// (UPDATE+LEAVE, FIN feedback) just before quit, and the
+			// transports stay open until pollerDone closes. Whatever the
+			// receive loops stage after this, shutdown discards once
+			// they exit.
+			drain()
+			return
+		}
+		drain()
+	}
+}
+
+// sendItems ships staged items in order, one SendBatch per consecutive
+// same-transport run, and drops each owner reference after its send.
+func sendItems(items []outItem, env []transport.Envelope, pkts []packet.Packet) ([]transport.Envelope, []packet.Packet) {
+	i := 0
+	for i < len(items) {
+		j := i + 1
+		for j < len(items) && items[j].bt == items[i].bt {
+			j++
+		}
+		n := j - i
+		if cap(env) < n {
+			env = make([]transport.Envelope, n)
+			pkts = make([]packet.Packet, n)
+		}
+		env, pkts = env[:n], pkts[:n]
+		for k := 0; k < n; k++ {
+			it := &items[i+k]
+			pkts[k] = packet.Packet{Header: it.hdr, Payload: it.payload}
+			env[k] = transport.Envelope{Pkt: &pkts[k], Multicast: it.multicast, To: it.to}
+		}
+		_ = items[i].bt.SendBatch(env)
+		for k := 0; k < n; k++ {
+			packet.Put(items[i+k].owner)
+			pkts[k] = packet.Packet{}
+			env[k] = transport.Envelope{}
+		}
+		i = j
+	}
+	return env, pkts
+}
+
+// discardSendq empties the staged queue without sending, releasing
+// every owner reference.
+func (s *Session) discardSendq() {
+	s.sendMu.Lock()
+	local := s.sendq
+	s.sendq = nil
+	s.sendMu.Unlock()
+	for i := range local {
+		packet.Put(local[i].owner)
+		local[i] = outItem{}
+	}
 }
 
 // SetBudget re-points the aggregate bandwidth budget at runtime, in
@@ -423,6 +554,11 @@ func (s *Session) OpenReceiver(tr transport.Transport, cfg receiver.Config, opts
 	if cfg.LocalAddr == 0 {
 		cfg.LocalAddr = tr.Local()
 	}
+	// The batched receive loop feeds the machine pool-owned packets
+	// exclusively, so retained data can recycle on in-order release
+	// (receiver.New still keeps recycling off under FEC/local recovery,
+	// whose caches alias stored payloads).
+	cfg.RecyclePackets = true
 	f := &ReceiverFlow{m: receiver.New(cfg)}
 	f.init(s, KindReceiver, tr, cfg.LocalPort, opts)
 	if err := s.attach(f); err != nil {
@@ -520,6 +656,9 @@ func (s *Session) Abort() {
 
 func (s *Session) shutdown() {
 	s.quitOnce.Do(func() { close(s.quit) })
+	// Let the poller ship everything the flows staged before the
+	// transports close underneath it.
+	<-s.pollerDone
 	s.mu.Lock()
 	loops := make([]*recvLoop, 0, len(s.loops))
 	for _, l := range s.loops {
@@ -530,4 +669,7 @@ func (s *Session) shutdown() {
 		_ = l.tr.Close()
 	}
 	s.wg.Wait()
+	// The receive loops may have staged feedback after the poller's
+	// exit drain; with every loop stopped the queue is finally quiet.
+	s.discardSendq()
 }

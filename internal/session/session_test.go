@@ -105,6 +105,23 @@ func TestSessionMultiplexStress(t *testing.T) {
 	if want := int64(groups * rcvPerGroup * size); snap.Total.Receiver.BytesDelivered != want {
 		t.Errorf("aggregate BytesDelivered = %d, want %d", snap.Total.Receiver.BytesDelivered, want)
 	}
+	// A receiver flow is Done only once its LEAVE is acknowledged — a
+	// round trip that completes after the reader's EOF and the sender's
+	// Close return, so give the handshake a bounded moment to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		allDone := true
+		for _, fs := range snap.Flows {
+			if !fs.Done {
+				allDone = false
+			}
+		}
+		if allDone || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+		snap = sess.Snapshot()
+	}
 	for _, fs := range snap.Flows {
 		if !fs.Done {
 			t.Errorf("flow %d (%s) not done at end of transfer", fs.ID, fs.Label)

@@ -1,58 +1,42 @@
 package transport
 
 import (
-	"sync"
-
 	"repro/internal/packet"
 )
 
-// pktPool is the shared packet buffer pool behind every batched hot
-// path: hub per-target clones, udpmcast batched decodes, and any other
-// BatchTransport implementation that wants allocation-free receive.
-// Payload backing arrays travel with their packet through the pool, so
-// a recycled packet absorbs the next clone/decode without allocating.
-var pktPool = sync.Pool{New: func() any { return new(packet.Packet) }}
-
-// GetPacket takes a packet from the shared pool. The header is zeroed;
-// the payload slice is empty but may have recycled capacity.
-//
-// Ownership rules (the "explicit release" contract of Transport v2):
+// The transport layer draws its packets from the process-wide
+// reference-counted pool in internal/packet (see packet/pool.go for
+// the full ownership rules). These wrappers exist so transport code
+// and its callers keep one vocabulary for the Transport v2 contract:
 //
 //   - A BatchTransport's RecvBatch hands packet ownership to the
 //     caller. The caller either releases the packet with PutPacket
 //     once it is done — the demultiplexer does this for packets no
-//     flow is bound to — or hands ownership on (a protocol machine
-//     that retains the payload simply never releases it, and the
-//     garbage collector reclaims it as before; sync.Pool does not
-//     require returns).
+//     flow is bound to — or hands ownership on. A protocol machine
+//     that retains the payload (the receive window's hold-until-
+//     release buffering) releases it on in-order delivery to the app.
 //   - A packet passed to SendBatch remains owned by the sender;
 //     implementations copy or encode it before returning and never
-//     release it themselves.
-//   - After PutPacket the packet and its payload must not be touched:
-//     the pool will hand both to an unrelated receive path.
-func GetPacket() *packet.Packet {
-	return pktPool.Get().(*packet.Packet)
-}
+//     release it themselves. Senders that need the packet to outlive a
+//     concurrent release (the session's shared send poller) cover the
+//     overlap with packet.Retain.
+//   - After the final PutPacket the packet and its payload must not be
+//     touched: the pool will hand both to an unrelated receive path.
 
-// PutPacket releases p back to the shared pool, keeping its payload
-// capacity for reuse. Releasing nil is a no-op. See GetPacket for the
-// ownership rules; releasing a packet something still references is a
-// use-after-free style bug (the payload bytes will be overwritten).
-func PutPacket(p *packet.Packet) {
-	if p == nil {
-		return
-	}
-	pl := p.Payload[:0]
-	*p = packet.Packet{}
-	p.Payload = pl
-	pktPool.Put(p)
-}
+// GetPacket takes a packet from the shared pool with one reference.
+// The header is zeroed; the payload slice is empty but may have
+// recycled capacity.
+func GetPacket() *packet.Packet { return packet.Get() }
+
+// PutPacket drops one reference to p, recycling it into the shared
+// pool when no references remain. Releasing nil is a no-op.
+func PutPacket(p *packet.Packet) { packet.Put(p) }
 
 // ClonePacket deep-copies p into a pooled packet: the batched
 // delivery paths' replacement for packet.Clone, recycling both the
 // packet struct and the payload backing array.
 func ClonePacket(p *packet.Packet) *packet.Packet {
-	q := GetPacket()
+	q := packet.GetBuf(len(p.Payload))
 	p.CloneInto(q)
 	return q
 }

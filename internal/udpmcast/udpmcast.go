@@ -219,7 +219,14 @@ func (t *SenderTransport) RecvBatch(out []transport.Envelope) (int, error) {
 		for i := 0; i < n; i++ {
 			b, src := t.br.datagram(i)
 			p := transport.GetPacket()
-			if err := packet.DecodeInto(p, b); err != nil {
+			// Zero-copy decode: the payload aliases the reader's fixed
+			// datagram slot, which stays untouched until the next read —
+			// and reads are serialized under recvMu, after the session's
+			// demux loop has consumed (and released) the previous batch.
+			// Feedback packets are header-only in practice, but the
+			// borrow keeps even payload-carrying ones (local-recovery
+			// repairs) copy-free.
+			if err := packet.DecodeBorrow(p, b); err != nil {
 				transport.PutPacket(p) // garbage or corrupted datagram
 				continue
 			}
@@ -334,7 +341,9 @@ func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
 		batch = batch[:0]
 		for i := 0; i < n; i++ {
 			b, src := br.datagram(i)
-			p := transport.GetPacket()
+			// Copy-mode decode (the batch outlives the reader slots here),
+			// so draw a packet that already owns a backing array.
+			p := packet.GetBuf(len(b))
 			if err := packet.DecodeInto(p, b); err != nil {
 				transport.PutPacket(p)
 				continue

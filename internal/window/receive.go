@@ -96,7 +96,19 @@ type ReceiveWindow struct {
 	readyHead int
 	// readOff is the byte offset consumed from ready[readyHead].
 	readOff int
+
+	// recycle makes the window the owner of inserted packets: each one
+	// is returned to the packet pool (packet.Put) when the application
+	// fully consumes it — the hold-until-release edge of the zero-copy
+	// datapath. It must stay off when anything aliases stored payloads
+	// past consumption (the receiver's FEC cache does, via PayloadAt).
+	recycle bool
 }
+
+// SetRecycle switches packet recycling on or off (see the recycle
+// field). Callers enable it only when every inserted packet is pool-
+// owned and nothing aliases stored payloads after consumption.
+func (w *ReceiveWindow) SetRecycle(on bool) { w.recycle = on }
 
 // NewReceiveWindow creates a window of the given size in packets,
 // starting at initialSeq.
@@ -246,6 +258,9 @@ func (w *ReceiveWindow) Read(buf []byte) (n int, fin bool) {
 			if p.FIN() {
 				fin = true
 			}
+			if w.recycle {
+				packet.Put(p)
+			}
 			w.ready[w.readyHead] = nil
 			w.readyHead++
 			w.readOff = 0
@@ -300,6 +315,28 @@ func (w *ReceiveWindow) PayloadAt(seq seqspace.Seq) ([]byte, bool) {
 		return p.Payload, true
 	}
 	return nil, false
+}
+
+// ReleaseAll drops every buffered packet — the unread ready queue and
+// the out-of-order queue — returning them to the pool when recycling
+// is on. It is for teardown of an aborted flow; the window must not be
+// used afterwards.
+func (w *ReceiveWindow) ReleaseAll() {
+	for i := w.readyHead; i < len(w.ready); i++ {
+		if w.recycle {
+			packet.Put(w.ready[i])
+		}
+		w.ready[i] = nil
+	}
+	w.ready = w.ready[:0]
+	w.readyHead = 0
+	w.readOff = 0
+	for seq, p := range w.ooo {
+		if w.recycle {
+			packet.Put(p)
+		}
+		delete(w.ooo, seq)
+	}
 }
 
 // ExtendHighest records that the sender has transmitted data up to and

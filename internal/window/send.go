@@ -42,6 +42,42 @@ type SendWindow struct {
 	head    int
 	bytes   int
 	limit   int
+
+	// Entry structs are carved from slabs and recycled through a free
+	// list, so steady-state Insert/Release traffic allocates nothing.
+	// The entry returned by Release stays valid until the next call
+	// into the window (spare holds it until then).
+	slab  []SendEntry
+	free  []*SendEntry
+	spare *SendEntry
+}
+
+const entrySlabSize = 64
+
+// getEntry returns a zeroed SendEntry from the free list or a slab.
+func (w *SendWindow) getEntry() *SendEntry {
+	w.recycleSpare()
+	if n := len(w.free) - 1; n >= 0 {
+		e := w.free[n]
+		w.free[n] = nil
+		w.free = w.free[:n]
+		return e
+	}
+	if len(w.slab) == 0 {
+		w.slab = make([]SendEntry, entrySlabSize)
+	}
+	e := &w.slab[0]
+	w.slab = w.slab[1:]
+	return e
+}
+
+// recycleSpare moves the previously released entry onto the free list.
+func (w *SendWindow) recycleSpare() {
+	if w.spare != nil {
+		*w.spare = SendEntry{}
+		w.free = append(w.free, w.spare)
+		w.spare = nil
+	}
 }
 
 // NewSendWindow creates a send window with the given byte budget and
@@ -83,7 +119,9 @@ func (w *SendWindow) Insert(p *packet.Packet) (seqspace.Seq, error) {
 		return 0, ErrWindowFull
 	}
 	p.Seq = uint32(w.next)
-	w.entries = append(w.entries, &SendEntry{Pkt: p})
+	e := w.getEntry()
+	e.Pkt = p
+	w.entries = append(w.entries, e)
 	w.next++
 	w.bytes += p.WireSize()
 	return seqspace.Seq(p.Seq), nil
@@ -108,12 +146,16 @@ func (w *SendWindow) Front() *SendEntry {
 }
 
 // Release drops the front packet (advances snd_wnd) and returns its
-// entry, or nil when the window is empty.
+// entry, or nil when the window is empty. The returned entry is only
+// valid until the next call into the window: it is recycled for a
+// later Insert.
 func (w *SendWindow) Release() *SendEntry {
+	w.recycleSpare()
 	if w.Len() == 0 {
 		return nil
 	}
 	e := w.entries[w.head]
+	w.spare = e
 	w.entries[w.head] = nil
 	w.head++
 	w.bytes -= e.Pkt.WireSize()
