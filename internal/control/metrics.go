@@ -19,9 +19,13 @@ import (
 // gaugeFields are stats fields exposed as gauges; everything else is a
 // monotonic counter.
 var gaugeFields = map[string]bool{
-	"RateBps":         true,
-	"CeilingBps":      true,
-	"MaxFillPermille": true,
+	"RateBps":           true,
+	"CeilingBps":        true,
+	"MaxFillPermille":   true,
+	"RepairHead":        true,
+	"RepairMembers":     true,
+	"RepairHeads":       true,
+	"DownstreamMembers": true,
 }
 
 // snakeCase converts a Go field name (PacketsSent, RateBps) to a
@@ -102,6 +106,15 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	add("hrmc_total_receiver_flows", float64(agg.ReceiverFlows), true, "")
 	lines = append(lines, statLines("hrmc_total_sender_", "", &agg.Sender)...)
 	lines = append(lines, statLines("hrmc_total_receiver_", "", &agg.Receiver)...)
+
+	// Repair-tier shape, derived from the receiver aggregates: RepairHead
+	// is 1 per head flow (so the sum is the head count) and RepairMembers
+	// sums each head's downstream membership.
+	add("hrmc_repair_heads", float64(agg.Receiver.RepairHead), true, "")
+	if agg.Receiver.RepairHead > 0 {
+		add("hrmc_repair_members_per_head",
+			float64(agg.Receiver.RepairMembers)/float64(agg.Receiver.RepairHead), true, "")
+	}
 
 	for _, fs := range flows {
 		labels := fmt.Sprintf(`flow=%q,id="%d",group=%q`,

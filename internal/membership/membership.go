@@ -49,6 +49,15 @@ type Member struct {
 	// under Karn's algorithm and is discarded.
 	ProbeTries int
 
+	// Head marks a repair-head entry (hierarchical recovery extension):
+	// the member speaks for a subtree of downstream receivers via
+	// AGG_UPDATEs, and NextExpected is the subtree minimum rather than
+	// the member's own frontier.
+	Head bool
+	// Members is the downstream receiver count a head last reported;
+	// zero for leaf entries.
+	Members int
+
 	// Intrusive doubly linked list over all members.
 	prev, next *Member
 	// Hash chain.
@@ -62,6 +71,11 @@ type Table struct {
 	// head/tail of the doubly linked list, in join order.
 	head, tail *Member
 	count      int
+	// heads and downstream track the repair tier incrementally: how
+	// many members are repair heads, and the sum of their reported
+	// downstream member counts.
+	heads      int
+	downstream int
 }
 
 func bucket(addr packet.NodeID) int { return int(uint32(addr) % HashTableSize) }
@@ -119,6 +133,10 @@ func (t *Table) Remove(addr packet.NodeID) bool {
 	} else {
 		hprev.hnext = m.hnext
 	}
+	if m.Head {
+		t.heads--
+		t.downstream -= m.Members
+	}
 	if m.prev == nil {
 		t.head = m.next
 	} else {
@@ -154,6 +172,41 @@ func (t *Table) Update(addr packet.NodeID, nextExpected seqspace.Seq, now sim.Ti
 	}
 	return true
 }
+
+// UpdateAggregate records an AGG_UPDATE from a repair head: nextExpected
+// is the minimum next-expected sequence number over the head's whole
+// subtree and members its downstream receiver count. Unlike Update it is
+// not monotonic — a new leaf joining behind the subtree front legitimately
+// regresses the minimum, and regression is the safe direction (the sender
+// merely holds data longer). Unknown addresses are ignored and reported
+// false.
+func (t *Table) UpdateAggregate(addr packet.NodeID, nextExpected seqspace.Seq, members int, now sim.Time) bool {
+	m := t.Lookup(addr)
+	if m == nil {
+		return false
+	}
+	if !m.Head {
+		m.Head = true
+		t.heads++
+	}
+	t.downstream += members - m.Members
+	m.Members = members
+	m.NextExpected = nextExpected
+	m.KnownState = true
+	m.LastHeard = now
+	if m.ProbeOutstanding && seqspace.After(nextExpected, m.ProbeSeq) {
+		m.ProbeOutstanding = false
+		m.ProbeTries = 0
+	}
+	return true
+}
+
+// Heads returns how many members are repair heads.
+func (t *Table) Heads() int { return t.heads }
+
+// Downstream returns the total downstream receiver count reported by
+// repair heads.
+func (t *Table) Downstream() int { return t.downstream }
 
 // Each calls fn for every member in join order; fn returning false stops
 // the walk.

@@ -280,3 +280,62 @@ func TestPropAllPastLackingAgree(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// UpdateAggregate (hierarchical repair tier) is non-monotonic: a new
+// leaf joining behind the subtree front legitimately regresses the
+// head's reported minimum, and the sender must honor it.
+func TestUpdateAggregateAllowsRegression(t *testing.T) {
+	var tb Table
+	tb.Add(1, 0)
+	if !tb.UpdateAggregate(1, 100, 10, 0) {
+		t.Fatal("UpdateAggregate on a present member returned false")
+	}
+	if tb.UpdateAggregate(2, 50, 3, 0) {
+		t.Fatal("UpdateAggregate on an absent member returned true")
+	}
+	m := tb.Lookup(1)
+	if !m.Head || !m.KnownState || m.NextExpected != 100 || m.Members != 10 {
+		t.Fatalf("member after aggregate = %+v", *m)
+	}
+	// Regression (monotonic Update would refuse this).
+	tb.UpdateAggregate(1, 60, 11, 1)
+	if m.NextExpected != 60 || m.Members != 11 {
+		t.Fatalf("aggregate regression not applied: next=%d members=%d", m.NextExpected, m.Members)
+	}
+	tb.Update(1, 40, 2)
+	if m.NextExpected != 60 {
+		t.Fatalf("plain Update regressed a known member: next=%d", m.NextExpected)
+	}
+}
+
+// Heads and Downstream track the repair-tier shape through join,
+// aggregate updates, and removal.
+func TestHeadsAndDownstreamCounters(t *testing.T) {
+	var tb Table
+	for a := packet.NodeID(1); a <= 3; a++ {
+		tb.Add(a, 0)
+	}
+	tb.UpdateAggregate(1, 10, 4, 0)
+	tb.UpdateAggregate(2, 10, 6, 0)
+	tb.Update(3, 10, 0) // a plain leaf reporting directly
+	if tb.Heads() != 2 || tb.Downstream() != 10 {
+		t.Fatalf("heads=%d downstream=%d, want 2 and 10", tb.Heads(), tb.Downstream())
+	}
+	// Shrinking a subtree shrinks the downstream count.
+	tb.UpdateAggregate(2, 12, 5, 1)
+	if tb.Downstream() != 9 {
+		t.Fatalf("downstream=%d after shrink, want 9", tb.Downstream())
+	}
+	// A second aggregate from the same head does not double-count it.
+	if tb.Heads() != 2 {
+		t.Fatalf("heads=%d after repeat aggregate, want 2", tb.Heads())
+	}
+	tb.Remove(2)
+	if tb.Heads() != 1 || tb.Downstream() != 4 {
+		t.Fatalf("heads=%d downstream=%d after removing a head, want 1 and 4", tb.Heads(), tb.Downstream())
+	}
+	tb.Remove(3)
+	if tb.Heads() != 1 || tb.Downstream() != 4 {
+		t.Fatalf("heads=%d downstream=%d after removing a leaf, want 1 and 4", tb.Heads(), tb.Downstream())
+	}
+}

@@ -1,0 +1,351 @@
+// Two-level scale model for the hierarchical repair tier: one sender,
+// a row of repair heads, and a large leaf population behind them. The
+// full Network model charges per-packet CPU and NIC queueing on every
+// host, which is the right fidelity for the paper's Section 5.2 figures
+// but makes a 10,000-receiver run intractable; Hierarchy trades the
+// host model for fixed one-way delays and per-subtree correlated loss,
+// which is exactly what the repair tier's scaling claims are about:
+// feedback volume at the sender, suppression at the heads, and
+// bit-exact delivery at every leaf.
+package netsim
+
+import (
+	"repro/internal/app"
+	"repro/internal/packet"
+	"repro/internal/receiver"
+	"repro/internal/repair"
+	"repro/internal/sender"
+	"repro/internal/sim"
+)
+
+// HierarchyConfig parametrizes the two-level model.
+type HierarchyConfig struct {
+	// Heads and LeavesPerHead shape the tree: Heads repair heads, each
+	// answering for LeavesPerHead downstream leaves.
+	Heads         int
+	LeavesPerHead int
+	// Flat disables the repair tier: every receiver (heads and leaves
+	// alike become plain receivers) reports straight to the sender. The
+	// baseline for the feedback-reduction comparison.
+	Flat bool
+
+	// Size is the stream length in bytes; Buf the per-socket buffer.
+	Size int64
+	Buf  int
+
+	// Seed drives every loss stream.
+	Seed uint64
+
+	// Delay is the sender↔head one-way delay; LeafDelay the head↔leaf
+	// one-way delay. A sender↔leaf path is Delay+LeafDelay.
+	Delay     sim.Time
+	LeafDelay sim.Time
+
+	// HeadLoss is the per-head loss probability on sender multicast.
+	// SubtreeLoss is drawn once per subtree per multicast packet and
+	// drops it for every leaf of that subtree at once — the correlated
+	// tail-link loss that makes NAK suppression worth having.
+	// LeafLoss is the per-leaf uncorrelated residue.
+	HeadLoss    float64
+	SubtreeLoss float64
+	LeafLoss    float64
+}
+
+// hNode is one simulated receiver host in the hierarchy.
+type hNode struct {
+	M    *receiver.Receiver
+	id   packet.NodeID
+	head bool
+	tree int // subtree index; head i owns the leaves with tree == i
+
+	Received   int64
+	BadBytes   int64
+	verifyOff  int64
+	Finished   bool
+	FinishedAt sim.Time
+}
+
+// Hierarchy owns the two-level simulation.
+type Hierarchy struct {
+	Engine *sim.Engine
+	cfg    HierarchyConfig
+
+	snd     *sender.Sender
+	source  app.Source
+	closed  bool
+	pending []byte
+
+	nodes    []*hNode // heads first (index 0..Heads-1), then leaves
+	finished int
+
+	headLoss    *sim.RNG
+	subtreeLoss *sim.RNG
+	leafLoss    *sim.RNG
+
+	// SenderFeedback counts feedback packets delivered to the sender —
+	// the quantity the repair tier exists to collapse.
+	SenderFeedback int64
+	// Drops counts simulated multicast losses.
+	Drops int64
+
+	// readBuf is shared across drains; the engine is single-threaded.
+	readBuf []byte
+}
+
+// NewHierarchy builds the sender, heads and leaves. Receiver IDs are
+// 1-based indexes into the node slice, heads first, so head i (0-based)
+// has NodeID i+1 and its leaves follow all heads.
+func NewHierarchy(cfg HierarchyConfig, scfg sender.Config) *Hierarchy {
+	if cfg.Heads <= 0 {
+		panic("netsim: hierarchy needs heads")
+	}
+	h := &Hierarchy{
+		Engine:  &sim.Engine{},
+		cfg:     cfg,
+		source:  app.NewMemorySource(cfg.Size),
+		readBuf: make([]byte, 64<<10),
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	h.headLoss = rng.Stream(1)
+	h.subtreeLoss = rng.Stream(2)
+	h.leafLoss = rng.Stream(3)
+
+	h.snd = sender.New(scfg)
+
+	total := cfg.Heads * (1 + cfg.LeavesPerHead)
+	h.nodes = make([]*hNode, 0, total)
+	for i := 0; i < cfg.Heads; i++ {
+		id := packet.NodeID(i + 1)
+		rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC}
+		if !cfg.Flat {
+			rcfg.Head = &repair.Config{}
+		}
+		h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, head: true, tree: i})
+	}
+	for i := 0; i < cfg.Heads; i++ {
+		for j := 0; j < cfg.LeavesPerHead; j++ {
+			id := packet.NodeID(len(h.nodes) + 1)
+			rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC}
+			if !cfg.Flat {
+				rcfg.RepairHead = packet.NodeID(i + 1)
+			}
+			h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, tree: i})
+		}
+	}
+	return h
+}
+
+// Sender returns the sender machine (for assertions).
+func (h *Hierarchy) Sender() *sender.Sender { return h.snd }
+
+// Nodes returns all receiver nodes, heads first.
+func (h *Hierarchy) Nodes() []*hNode { return h.nodes }
+
+// leaves returns the leaf nodes of subtree i.
+func (h *Hierarchy) leaves(tree int) []*hNode {
+	start := h.cfg.Heads + tree*h.cfg.LeavesPerHead
+	return h.nodes[start : start+h.cfg.LeavesPerHead]
+}
+
+// tick is the per-jiffy driver: one event advances the sender and every
+// receiver, which keeps the event queue small at 10k+ nodes.
+func (h *Hierarchy) tick() {
+	now := h.Engine.Now()
+	h.feedWindow(now)
+	if !h.closed && h.source.Remaining() == 0 && len(h.pending) == 0 {
+		h.closed = true
+		h.snd.Close(now)
+	}
+	h.snd.Tick(now)
+	h.flushSender(now)
+	for _, nd := range h.nodes {
+		nd.M.Advance(now)
+		h.drainReads(nd, now)
+		h.flushNode(nd, now)
+	}
+	if !h.done() {
+		h.Engine.At(now+jiffy, h.tick)
+	}
+}
+
+func (h *Hierarchy) feedWindow(now sim.Time) {
+	if h.closed {
+		return
+	}
+	for len(h.pending) > 0 {
+		w := h.snd.Write(now, h.pending)
+		h.pending = h.pending[w:]
+		if w == 0 {
+			return
+		}
+	}
+	for {
+		avail := h.source.Available(now)
+		if avail == 0 {
+			return
+		}
+		buf := make([]byte, minInt(avail, 64<<10))
+		m := h.source.Produce(now, buf)
+		if m == 0 {
+			return
+		}
+		buf = buf[:m]
+		w := h.snd.Write(now, buf)
+		if w < m {
+			h.pending = buf[w:]
+			return
+		}
+	}
+}
+
+// flushSender routes the sender's outgoing packets: multicast fans out
+// to heads at +Delay and to leaves at +Delay+LeafDelay with the loss
+// model applied; unicast goes to its node with the path delay.
+func (h *Hierarchy) flushSender(now sim.Time) {
+	for _, o := range h.snd.Outgoing() {
+		if o.Dest.Multicast {
+			// One clone shared by every receiver: nothing in this model
+			// recycles packets (no pool ownership), windows only read the
+			// stored payload, and repairs are rebuilt as fresh copies, so
+			// aliasing one packet across 10k receive windows is safe and
+			// is what makes the scale affordable.
+			pkt := o.Pkt.Clone()
+			h.Engine.At(now+h.cfg.Delay, func() {
+				for _, nd := range h.nodes[:h.cfg.Heads] {
+					if h.headLoss.Bool(h.cfg.HeadLoss) {
+						h.Drops++
+						continue
+					}
+					h.deliverToNode(nd, 0, pkt)
+				}
+			})
+			h.Engine.At(now+h.cfg.Delay+h.cfg.LeafDelay, func() {
+				for tree := 0; tree < h.cfg.Heads; tree++ {
+					if h.subtreeLoss.Bool(h.cfg.SubtreeLoss) {
+						h.Drops += int64(h.cfg.LeavesPerHead)
+						continue
+					}
+					for _, nd := range h.leaves(tree) {
+						if h.leafLoss.Bool(h.cfg.LeafLoss) {
+							h.Drops++
+							continue
+						}
+						h.deliverToNode(nd, 0, pkt)
+					}
+				}
+			})
+			continue
+		}
+		idx := int(o.Dest.Node) - 1
+		if idx < 0 || idx >= len(h.nodes) {
+			continue
+		}
+		dst := h.nodes[idx]
+		delay := h.cfg.Delay
+		if !dst.head {
+			delay += h.cfg.LeafDelay
+		}
+		pkt := o.Pkt.Clone()
+		h.Engine.At(now+delay, func() { h.deliverToNode(dst, 0, pkt) })
+	}
+}
+
+// flushNode routes one receiver's output: feedback to the sender,
+// repair multicast into the node's own subtree, and repair-plane
+// unicast to its explicit destination.
+func (h *Hierarchy) flushNode(nd *hNode, now sim.Time) {
+	delayUp := h.cfg.Delay
+	if !nd.head {
+		delayUp += h.cfg.LeafDelay
+	}
+	for _, p := range nd.M.Outgoing() {
+		pkt := p
+		from := nd.id
+		h.Engine.At(now+delayUp, func() {
+			t := h.Engine.Now()
+			h.SenderFeedback++
+			h.snd.HandlePacket(t, from, pkt)
+			h.flushSender(t)
+		})
+	}
+	for _, p := range nd.M.OutgoingMulticast() {
+		// A head's repair reaches only its own subtree — that scoping is
+		// the whole point of the tier. (Leaves never multicast: local
+		// recovery is off.)
+		pkt := p
+		tree := nd.tree
+		self := nd
+		h.Engine.At(now+h.cfg.LeafDelay, func() {
+			for _, leaf := range h.leaves(tree) {
+				if leaf != self {
+					h.deliverToNode(leaf, self.id, pkt)
+				}
+			}
+		})
+	}
+	for _, a := range nd.M.OutgoingAddressed() {
+		idx := int(a.To) - 1
+		if idx < 0 || idx >= len(h.nodes) {
+			continue
+		}
+		dst := h.nodes[idx]
+		pkt := a.Pkt
+		from := nd.id
+		h.Engine.At(now+h.cfg.LeafDelay, func() { h.deliverToNode(dst, from, pkt) })
+	}
+}
+
+func (h *Hierarchy) deliverToNode(nd *hNode, from packet.NodeID, p *packet.Packet) {
+	t := h.Engine.Now()
+	nd.M.HandleFrom(t, from, p)
+	h.drainReads(nd, t)
+	h.flushNode(nd, t)
+}
+
+func (h *Hierarchy) drainReads(nd *hNode, now sim.Time) {
+	for {
+		m, err := nd.M.Read(now, h.readBuf)
+		if m > 0 {
+			if i := app.VerifyPattern(h.readBuf[:m], nd.verifyOff); i >= 0 {
+				nd.BadBytes++
+			}
+			nd.verifyOff += int64(m)
+			nd.Received += int64(m)
+		}
+		if nd.M.FinDelivered() && !nd.Finished {
+			nd.Finished = true
+			nd.FinishedAt = now
+			h.finished++
+		}
+		if err != nil || m == 0 {
+			return
+		}
+	}
+}
+
+func (h *Hierarchy) done() bool {
+	return h.snd.Done() && h.finished == len(h.nodes)
+}
+
+// Run drives the simulation until the transfer completes or limit
+// elapses, returning a Result over all nodes.
+func (h *Hierarchy) Run(limit sim.Time) Result {
+	h.Engine.At(jiffy, h.tick)
+	for h.Engine.Now() < limit && !h.done() {
+		if !h.Engine.Step() {
+			break
+		}
+	}
+	res := Result{Completed: true, NICDrops: h.Drops}
+	for _, nd := range h.nodes {
+		if !nd.Finished {
+			res.Completed = false
+			continue
+		}
+		if nd.FinishedAt > res.Duration {
+			res.Duration = nd.FinishedAt
+		}
+		res.Bytes = nd.Received
+	}
+	return res
+}

@@ -365,7 +365,7 @@ func (n *Network) deliverFromSender(exit sim.Time, o sender.Out) {
 				n.RouterDrops++
 				continue
 			}
-			n.deliverToReceiver(exit, r, o.Pkt)
+			n.deliverToReceiver(exit, 0, r, o.Pkt)
 		}
 		return
 	}
@@ -376,7 +376,7 @@ func (n *Network) deliverFromSender(exit sim.Time, o sender.Out) {
 				n.RouterDrops++
 				return
 			}
-			n.deliverToReceiver(exit, r, o.Pkt)
+			n.deliverToReceiver(exit, 0, r, o.Pkt)
 			return
 		}
 	}
@@ -385,7 +385,7 @@ func (n *Network) deliverFromSender(exit sim.Time, o sender.Out) {
 // deliverToReceiver applies the tail-link model for one receiver: the
 // group's one-way delay, the lower-layer latency, uncorrelated loss at
 // the receiver NIC, then CPU processing before the protocol sees it.
-func (n *Network) deliverToReceiver(exit sim.Time, r *ReceiverHost, p *packet.Packet) {
+func (n *Network) deliverToReceiver(exit sim.Time, from packet.NodeID, r *ReceiverHost, p *packet.Packet) {
 	if r.rxRng.Bool(r.Group.Loss * (1 - CorrelatedShare)) {
 		n.NICDrops++
 		return
@@ -397,7 +397,7 @@ func (n *Network) deliverToReceiver(exit sim.Time, r *ReceiverHost, p *packet.Pa
 		done := r.cpu(now, len(pkt.Payload))
 		n.Engine.At(done, func() {
 			t := n.Engine.Now()
-			r.M.HandlePacket(t, pkt)
+			r.M.HandleFrom(t, from, pkt)
 			n.drainReads(r, t)
 			n.flushReceiver(r, t)
 		})
@@ -443,8 +443,28 @@ func (n *Network) flushReceiver(r *ReceiverHost, now sim.Time) {
 				n.RouterDrops++
 				continue
 			}
-			n.deliverToReceiver(exit+r.Group.Delay, dst, p)
+			n.deliverToReceiver(exit+r.Group.Delay, r.id, dst, p)
 		}
+	}
+	// Repair-plane unicast (hierarchical-recovery extension): leaf→head
+	// feedback and head→leaf responses travel receiver-to-receiver —
+	// origin tail, then the destination's tail inside deliverToReceiver.
+	for _, a := range r.M.OutgoingAddressed() {
+		cpuDone := r.cpu(now, len(a.Pkt.Payload))
+		exit, dropped := r.nic(cpuDone, a.Pkt.WireSize())
+		if dropped {
+			continue
+		}
+		idx := int(a.To) - 1
+		if idx < 0 || idx >= len(n.rcvs) {
+			continue
+		}
+		gr := n.groups[r.Group.Name]
+		if gr.loss.Bool(gr.g.Loss * CorrelatedShare) {
+			n.RouterDrops++
+			continue
+		}
+		n.deliverToReceiver(exit+r.Group.Delay, r.id, n.rcvs[idx], a.Pkt)
 	}
 	for _, p := range r.M.Outgoing() {
 		cpuDone := r.cpu(now, len(p.Payload))

@@ -55,6 +55,18 @@ const (
 	// Table 1. Seq is the first covered sequence number, Length the
 	// group size.
 	TypeFec
+	// TypeHeadNak is the repair-tier (hierarchical recovery) analogue of
+	// NAK, sent by a downstream receiver to its repair head instead of
+	// the sender: Seq is the first missing sequence number, Length the
+	// count of consecutive missing packets, and RateAdv the requester's
+	// next expected sequence number. Not part of the paper's Table 1.
+	TypeHeadNak
+	// TypeAggUpdate is one aggregated UPDATE from a repair head to the
+	// sender, summarizing the head's whole subtree: Seq is the minimum
+	// next-expected sequence number across the head and its downstream
+	// members, Length the downstream member count. Not part of the
+	// paper's Table 1.
+	TypeAggUpdate
 	typeMax
 )
 
@@ -72,6 +84,8 @@ var typeNames = [...]string{
 	TypeUpdate:        "UPDATE",
 	TypeProbe:         "PROBE",
 	TypeFec:           "FEC",
+	TypeHeadNak:       "HEAD_NAK",
+	TypeAggUpdate:     "AGG_UPDATE",
 }
 
 // String returns the paper's name for the packet type.

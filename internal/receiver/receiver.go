@@ -26,6 +26,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/kernel"
 	"repro/internal/packet"
+	"repro/internal/repair"
 	"repro/internal/seqspace"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -113,6 +114,20 @@ type Config struct {
 	// stored payloads past consumption.
 	RecyclePackets bool
 
+	// Head makes this receiver a repair head (hierarchical recovery
+	// extension): it tracks downstream members, answers their HEAD_NAKs
+	// from a retained window, and reports one aggregated UPDATE to the
+	// sender instead of per-member feedback. Head mode implies HRMC and
+	// disables local recovery (the repair tier subsumes it).
+	Head *repair.Config
+	// RepairHead, when nonzero, makes this receiver a downstream member
+	// (leaf) of the given repair head: JOIN/UPDATE/LEAVE feedback and
+	// retransmission requests (as HEAD_NAK) are addressed to the head
+	// instead of the sender. Flow-control CONTROL packets still go to
+	// the sender — rate control stays end-to-end. Ignored when Head is
+	// set (a head reports straight to the sender).
+	RepairHead packet.NodeID
+
 	// Stats receives counters; nil allocates a private set.
 	Stats *stats.Receiver
 	// Trace receives protocol events; nil disables tracing.
@@ -143,6 +158,15 @@ func (c *Config) sanitize() {
 	}
 	if c.WarnBuf <= 0 {
 		c.WarnBuf = 4
+	}
+	if c.Head != nil {
+		// The repair tier subsumes peer-based local recovery, and a head
+		// reports straight to the sender.
+		c.LocalRecovery = false
+		c.RepairHead = 0
+	}
+	if c.RepairHead != 0 {
+		c.LocalRecovery = false
 	}
 	if c.Stats == nil {
 		c.Stats = &stats.Receiver{}
@@ -206,6 +230,21 @@ type Receiver struct {
 	repairPending map[seqspace.Seq]sim.Time
 	repairTimer   kernel.Timer
 	rng           *sim.RNG
+
+	// Repair tier (hierarchical recovery extension): head is the repair-
+	// head state machine when this receiver serves a subtree; outAddr
+	// queues repair-plane unicast packets (leaf→head feedback, head→leaf
+	// responses) with explicit destinations.
+	head    *repair.Head
+	outAddr []Addressed
+}
+
+// Addressed is one outgoing packet with an explicit unicast destination
+// on the repair plane (leaf↔head traffic, which the flat feedback path —
+// everything unicast to the sender — cannot express).
+type Addressed struct {
+	Pkt *packet.Packet
+	To  packet.NodeID
 }
 
 // ErrNotData is returned by HandlePacket for sender-bound packet types.
@@ -227,7 +266,9 @@ func New(cfg Config) *Receiver {
 		updatePeriod: cfg.InitialUpdatePeriod,
 		rttEstimate:  cfg.AssumedRTT,
 	}
-	if cfg.Mode == HRMC {
+	if cfg.Mode == HRMC && cfg.Head == nil {
+		// A repair head replaces the per-receiver Update Generator with
+		// the aggregate timer inside the head machine.
 		r.updateTimer.Arm(sim.Time(cfg.InitialUpdatePeriod))
 	}
 	if cfg.FECGroupSize > 0 || cfg.LocalRecovery {
@@ -235,6 +276,16 @@ func New(cfg Config) *Receiver {
 	}
 	if cfg.RecyclePackets && r.fecCache == nil {
 		r.wnd.SetRecycle(true)
+	}
+	if cfg.Head != nil {
+		hc := *cfg.Head
+		// The head's retained window must outlast the receive window so
+		// an evicted packet is always one the application (and hence the
+		// subtree front, which the aggregate clamps releases to) is past.
+		if hc.WindowPackets < 2*int(wndPackets) {
+			hc.WindowPackets = 2 * int(wndPackets)
+		}
+		r.head = repair.NewHead(0, hc, cfg.RecyclePackets && r.fecCache == nil, r.st)
 	}
 	if cfg.LocalRecovery {
 		seed := cfg.RecoverySeed
@@ -275,15 +326,44 @@ func (r *Receiver) FinDelivered() bool { return r.finDelivered }
 func (r *Receiver) Outgoing() []*packet.Packet { return r.out.Drain() }
 
 // OutgoingMulticast drains packets destined for the whole group
-// (multicast NAKs and repairs under the local-recovery extension).
+// (multicast NAKs and repairs under the local-recovery extension, and a
+// head's repairs into its subtree).
 func (r *Receiver) OutgoingMulticast() []*packet.Packet { return r.outMC.Drain() }
 
-// HasOutgoing reports whether feedback is queued.
-func (r *Receiver) HasOutgoing() bool { return r.out.Len() > 0 || r.outMC.Len() > 0 }
+// OutgoingAddressed drains repair-plane unicast packets, each with its
+// explicit destination (leaf→head feedback, head→leaf responses).
+func (r *Receiver) OutgoingAddressed() []Addressed {
+	out := r.outAddr
+	r.outAddr = nil
+	return out
+}
 
-// emitNak routes a NAK: multicast under local recovery (so peers can
+// HasOutgoing reports whether feedback is queued.
+func (r *Receiver) HasOutgoing() bool {
+	return r.out.Len() > 0 || r.outMC.Len() > 0 || len(r.outAddr) > 0
+}
+
+// reportedNext is the next-expected sequence number this receiver
+// reports upstream. A repair head speaks for its subtree: every packet
+// that updates the sender's membership state carries the aggregate
+// minimum, never the head's own frontier — otherwise the sender could
+// release data a downstream member still needs.
+func (r *Receiver) reportedNext() seqspace.Seq {
+	if r.head != nil {
+		return r.head.ClampNext(r.wnd.Next())
+	}
+	return r.wnd.Next()
+}
+
+// emitNak routes a retransmission request: to the repair head as a
+// HEAD_NAK in leaf mode, multicast under local recovery (so peers can
 // repair and suppress), unicast to the sender otherwise.
 func (r *Receiver) emitNak(p *packet.Packet) {
+	if r.cfg.RepairHead != 0 {
+		p.Type = packet.TypeHeadNak
+		r.emitTo(p, r.cfg.RepairHead)
+		return
+	}
 	if r.cfg.LocalRecovery {
 		p.SrcPort = r.cfg.LocalPort
 		p.DstPort = r.cfg.RemotePort
@@ -294,9 +374,28 @@ func (r *Receiver) emitNak(p *packet.Packet) {
 }
 
 func (r *Receiver) emit(p *packet.Packet) {
+	if r.cfg.RepairHead != 0 {
+		// Leaf mode: membership feedback belongs to the repair head, not
+		// the sender. CONTROL (rate requests) and everything else stays
+		// end-to-end.
+		switch p.Type {
+		case packet.TypeJoin, packet.TypeUpdate, packet.TypeLeave:
+			r.emitTo(p, r.cfg.RepairHead)
+			return
+		}
+	}
 	p.SrcPort = r.cfg.LocalPort
 	p.DstPort = r.cfg.RemotePort
 	r.out.Push(p)
+}
+
+// emitTo queues a repair-plane unicast packet. Both ends of the repair
+// plane listen on the group's receiver port, so DstPort is LocalPort —
+// not the sender's port.
+func (r *Receiver) emitTo(p *packet.Packet, to packet.NodeID) {
+	p.SrcPort = r.cfg.LocalPort
+	p.DstPort = r.cfg.LocalPort
+	r.outAddr = append(r.outAddr, Addressed{Pkt: p, To: to})
 }
 
 // HandlePacket processes one packet from the sender. It corresponds to
@@ -311,18 +410,32 @@ func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) error {
 // the receive window, to be released when the application consumes
 // it). When retained is false the caller still owns p and should
 // release it (packet.Put); when true, ownership transferred to the
-// machine.
+// machine. Callers that know the source address use HandleFrom instead
+// so a repair head can attribute member feedback.
 func (r *Receiver) HandleEnvelope(now sim.Time, p *packet.Packet) (retained bool, err error) {
+	return r.HandleFrom(now, 0, p)
+}
+
+// HandleFrom is HandleEnvelope with the source's unicast address, which
+// a repair head needs to attribute downstream feedback (JOIN, UPDATE,
+// LEAVE, HEAD_NAK). from may be zero when unknown; member feedback is
+// then rejected.
+func (r *Receiver) HandleFrom(now sim.Time, from packet.NodeID, p *packet.Packet) (retained bool, err error) {
 	// An unconfigured RemotePort is learned from the sender's source
 	// port, the way a connected socket learns its peer — only from
 	// sender-originated types, so a peer's multicast NAK (local
-	// recovery) can never hijack the feedback address.
+	// recovery) can never hijack the feedback address. In leaf mode the
+	// JOIN/LEAVE responses come from the repair head, not the sender,
+	// so they are excluded there.
 	if r.cfg.RemotePort == 0 && p.SrcPort != 0 {
 		switch p.Type {
 		case packet.TypeData, packet.TypeKeepalive, packet.TypeProbe,
-			packet.TypeJoinResponse, packet.TypeLeaveResponse,
 			packet.TypeFec, packet.TypeNakErr:
 			r.cfg.RemotePort = p.SrcPort
+		case packet.TypeJoinResponse, packet.TypeLeaveResponse:
+			if r.cfg.RepairHead == 0 {
+				r.cfg.RemotePort = p.SrcPort
+			}
 		}
 	}
 	switch p.Type {
@@ -350,10 +463,130 @@ func (r *Receiver) HandleEnvelope(now sim.Time, p *packet.Packet) (retained bool
 		// protocol invariant violation surfaced to the application; the
 		// RMC baseline documents it as an application-visible error.
 		// Counted via stats (no counter increment needed beyond naks).
+	case packet.TypeJoin:
+		if r.head == nil || from == 0 {
+			return false, ErrNotData
+		}
+		r.onMemberJoin(now, from, p)
+	case packet.TypeUpdate:
+		if r.head == nil || from == 0 {
+			return false, ErrNotData
+		}
+		r.head.Update(now, from, seqspace.Seq(p.Seq))
+	case packet.TypeLeave:
+		if r.head == nil || from == 0 {
+			return false, ErrNotData
+		}
+		r.onMemberLeave(now, from, p)
+	case packet.TypeHeadNak:
+		if r.head == nil || from == 0 {
+			return false, ErrNotData
+		}
+		r.onHeadNak(now, from, p)
 	default:
 		return false, ErrNotData
 	}
 	return retained, nil
+}
+
+// onMemberJoin registers a downstream member (head mode) and answers
+// with the same JOIN_RESPONSE handshake the sender gives heads, so the
+// leaf's JOIN retry loop and RTT estimate work unchanged.
+func (r *Receiver) onMemberJoin(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	r.head.Join(now, from, seqspace.Seq(p.Seq))
+	r.emitTo(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeJoinResponse,
+		Seq:  p.Seq,
+	}}, from)
+}
+
+// onMemberLeave removes a downstream member (head mode) and confirms
+// with LEAVE_RESPONSE.
+func (r *Receiver) onMemberLeave(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	r.head.Update(now, from, seqspace.Seq(p.Seq))
+	r.head.Leave(from)
+	r.emitTo(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeLeaveResponse,
+		Seq:  p.Seq,
+	}}, from)
+	r.maybeLeave(now)
+}
+
+// onHeadNak services a downstream retransmission request (head mode):
+// each requested sequence number is answered from the head's retained
+// window (or the receive window) with a multicast repair into the
+// subtree, suppressed if the same number was served within the
+// suppression interval, or escalated to the sender as an ordinary NAK
+// when the head does not hold the data either.
+func (r *Receiver) onHeadNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	r.st.HeadNaksReceived++
+	// The requester's rcv_nxt rides in RateAdv, like a NAK's.
+	r.head.Update(now, from, seqspace.Seq(p.RateAdv))
+	first := seqspace.Seq(p.Seq)
+	to := first + seqspace.Seq(p.Length)
+	if p.Length == 0 {
+		to = first + 1
+	}
+	var escFrom seqspace.Seq
+	var escCount uint32
+	flushEsc := func() {
+		if escCount == 0 {
+			return
+		}
+		trace.Emit(r.cfg.Trace, now, trace.HeadNakEscalated, uint32(escFrom), int64(escCount))
+		r.emit(&packet.Packet{Header: packet.Header{
+			Type:    packet.TypeNak,
+			Seq:     uint32(escFrom),
+			Length:  escCount,
+			RateAdv: uint32(r.reportedNext()),
+		}})
+		escCount = 0
+	}
+	for seq := first; seqspace.Before(seq, to); seq++ {
+		if r.head.Handled(now, seq) {
+			r.st.HeadNaksSuppressed++
+			continue
+		}
+		var payload []byte
+		var flags uint8
+		if src, ok := r.head.Retained(seq); ok {
+			// The FIN flag must survive the repair: a leaf whose lost
+			// packet was the stream end can only finish if the rebuilt
+			// copy still ends the stream.
+			payload, flags = src.Payload, src.Flags&packet.FlagFIN
+		} else if wp, ok := r.wnd.PayloadAt(seq); ok {
+			payload = wp
+		} else {
+			// Not held here: escalate (coalescing consecutive numbers).
+			r.st.HeadNaksEscalated++
+			if escCount == 0 {
+				escFrom = seq
+			}
+			escCount++
+			continue
+		}
+		flushEsc()
+		r.st.HeadNaksAnswered++
+		trace.Emit(r.cfg.Trace, now, trace.HeadRepairSent, uint32(seq), int64(len(payload)))
+		pl := make([]byte, len(payload))
+		copy(pl, payload)
+		rep := &packet.Packet{
+			Header: packet.Header{
+				Type:    packet.TypeData,
+				Seq:     uint32(seq),
+				Length:  uint32(len(pl)),
+				RateAdv: r.advRate,
+				Tries:   1, // a repair is by definition a retransmission
+				Flags:   flags,
+			},
+			Payload: pl,
+		}
+		rep.SrcPort = r.cfg.LocalPort
+		rep.DstPort = r.cfg.LocalPort
+		r.outMC.Push(rep)
+	}
+	flushEsc()
+	r.feedbackInPer = true
 }
 
 // onData reports whether p was stored in the receive window (retained).
@@ -383,6 +616,12 @@ func (r *Receiver) onData(now sim.Time, p *packet.Packet) bool {
 		return false
 	}
 	r.st.DataReceived++
+	if r.head != nil {
+		// Head role: keep the packet available for downstream repairs
+		// past application consumption (a reference when pool-owned, a
+		// plain alias otherwise).
+		r.head.Retain(p)
+	}
 	if r.fecCache != nil {
 		r.fecCache[seqspace.Seq(p.Seq)] = p.Payload
 		r.pruneFecCache()
@@ -450,7 +689,7 @@ func (r *Receiver) sendDueNaks(now sim.Time) {
 				Type:    packet.TypeNak,
 				Seq:     uint32(from),
 				Length:  count,
-				RateAdv: uint32(r.wnd.Next()),
+				RateAdv: uint32(r.reportedNext()),
 			}})
 			count = 0
 		}
@@ -545,7 +784,7 @@ func (r *Receiver) maybeRateRequest(now sim.Time) {
 		trace.Emit(r.cfg.Trace, now, trace.RegionWarning, uint32(r.wnd.Next()), int64(r.wnd.Fill()))
 		r.emit(&packet.Packet{Header: packet.Header{
 			Type:    packet.TypeControl,
-			Seq:     uint32(r.wnd.Next()),
+			Seq:     uint32(r.reportedNext()),
 			RateAdv: r.advRate / 2,
 		}})
 		r.feedbackInPer = true
@@ -560,7 +799,7 @@ func (r *Receiver) maybeRateRequest(now sim.Time) {
 		trace.Emit(r.cfg.Trace, now, trace.RegionCritical, uint32(r.wnd.Next()), int64(r.wnd.Fill()))
 		r.emit(&packet.Packet{Header: packet.Header{
 			Type:    packet.TypeControl,
-			Seq:     uint32(r.wnd.Next()),
+			Seq:     uint32(r.reportedNext()),
 			RateAdv: r.advRate / 2,
 			Flags:   packet.FlagURG,
 		}})
@@ -713,6 +952,23 @@ func (r *Receiver) onProbe(now sim.Time, p *packet.Packet) {
 	r.st.ProbesReceived++
 	r.probesInPer++
 	probeSeq := seqspace.Seq(p.Seq)
+	if r.head != nil {
+		// Head mode: the probe asks about the subtree, and the aggregate
+		// is the answer. When the head itself lacks the probed data it
+		// also NAKs immediately (the sender is blocked on it); when only
+		// members lag, the AGG_UPDATE tells the sender how far the
+		// subtree actually is, and member HEAD_NAKs drive the repairs.
+		if seqspace.After(r.reportedNext(), probeSeq) {
+			trace.Emit(r.cfg.Trace, now, trace.ProbeAnswered, p.Seq, 1)
+		}
+		if !seqspace.After(r.wnd.Next(), probeSeq) {
+			r.wnd.ExtendHighest(probeSeq)
+			r.syncNakList(now)
+			r.forceNak(now)
+		}
+		r.sendAggUpdate(now)
+		return
+	}
 	if seqspace.After(r.wnd.Next(), probeSeq) {
 		// All data up to and including the probed sequence number has
 		// been received: answer with an immediate UPDATE.
@@ -750,17 +1006,18 @@ func (r *Receiver) forceNak(now sim.Time) {
 		Type:    packet.TypeNak,
 		Seq:     uint32(g.From),
 		Length:  g.Count(),
-		RateAdv: uint32(r.wnd.Next()),
+		RateAdv: uint32(r.reportedNext()),
 	}})
 	r.feedbackInPer = true
 	r.armNakTimer(now)
 }
 
-// sendJoin emits a JOIN and arms the retry timer.
+// sendJoin emits a JOIN and arms the retry timer. In leaf mode emit
+// routes it to the repair head; a head joins the sender directly.
 func (r *Receiver) sendJoin(now sim.Time) {
 	r.emit(&packet.Packet{Header: packet.Header{
 		Type: packet.TypeJoin,
-		Seq:  uint32(r.wnd.Next()),
+		Seq:  uint32(r.reportedNext()),
 	}})
 	r.joinTimer.Arm(now + joinRetryInterval)
 }
@@ -791,9 +1048,42 @@ func (r *Receiver) sendUpdate(now sim.Time) {
 	trace.Emit(r.cfg.Trace, now, trace.UpdateSent, uint32(r.wnd.Next()), 0)
 	r.emit(&packet.Packet{Header: packet.Header{
 		Type: packet.TypeUpdate,
-		Seq:  uint32(r.wnd.Next()),
+		Seq:  uint32(r.reportedNext()),
 	}})
 	_ = now
+}
+
+// sendAggUpdate emits one aggregated UPDATE to the sender (head mode):
+// the minimum next-expected sequence number over the head and its
+// subtree, and the downstream member count.
+func (r *Receiver) sendAggUpdate(now sim.Time) {
+	min, members := r.head.Aggregate(r.wnd.Next())
+	r.st.AggUpdatesSent++
+	trace.Emit(r.cfg.Trace, now, trace.AggUpdateSent, uint32(min), int64(members))
+	r.emit(&packet.Packet{Header: packet.Header{
+		Type:   packet.TypeAggUpdate,
+		Seq:    uint32(min),
+		Length: uint32(members),
+	}})
+}
+
+// maybeLeave sends the head's deferred LEAVE: a head that has delivered
+// the whole stream holds its LEAVE until every downstream member is
+// past the stream end (or evicted by the member timeout) — leaving
+// earlier would drop the subtree minimum from the sender's release
+// check while members still need repairs.
+func (r *Receiver) maybeLeave(now sim.Time) {
+	if r.head == nil || !r.finDelivered || r.leaveSent {
+		return
+	}
+	if !r.head.Drained(r.wnd.Next()) {
+		return
+	}
+	r.leaveSent = true
+	r.emit(&packet.Packet{Header: packet.Header{
+		Type: packet.TypeLeave,
+		Seq:  uint32(r.reportedNext()),
+	}})
 }
 
 // Advance fires any due timers: the NAK Manager and the Update
@@ -814,6 +1104,14 @@ func (r *Receiver) Advance(now sim.Time) {
 	}
 	if r.repairTimer.Fire(now) {
 		r.fireRepairs(now)
+	}
+	if r.head != nil && r.head.Tick(now) {
+		// The aggregate period elapsed: one AGG_UPDATE speaks for the
+		// whole subtree (and the eviction sweep ran inside Tick).
+		if !r.leaveSent {
+			r.sendAggUpdate(now)
+		}
+		r.maybeLeave(now)
 	}
 }
 
@@ -849,6 +1147,9 @@ func (r *Receiver) onUpdateTimer(now sim.Time) {
 
 // NextWake returns the earliest time Advance needs to run.
 func (r *Receiver) NextWake() (sim.Time, bool) {
+	if r.head != nil {
+		return kernel.Earliest(&r.nakTimer, &r.updateTimer, &r.joinTimer, &r.repairTimer, r.head.Timer())
+	}
 	return kernel.Earliest(&r.nakTimer, &r.updateTimer, &r.joinTimer, &r.repairTimer)
 }
 
@@ -865,7 +1166,13 @@ func (r *Receiver) Read(now sim.Time, buf []byte) (int, error) {
 		r.finDelivered = true
 		trace.Emit(r.cfg.Trace, now, trace.StreamComplete, uint32(r.wnd.Next()), r.st.BytesDelivered)
 		r.updateTimer.Disarm()
-		if !r.leaveSent {
+		if r.head != nil {
+			// A head reports the subtree state and defers its LEAVE
+			// until every member is past the stream end — it must keep
+			// answering HEAD_NAKs until then.
+			r.sendAggUpdate(now)
+			r.maybeLeave(now)
+		} else if !r.leaveSent {
 			r.leaveSent = true
 			// A final UPDATE tells the sender everything was received,
 			// then LEAVE closes the membership. The RMC baseline has no
@@ -891,7 +1198,16 @@ func (r *Receiver) Buffered() int { return r.wnd.Buffered() }
 // ReleaseBuffers drops every buffered packet, returning retained pool
 // packets to the pool. It is for teardown of an aborted flow only; the
 // machine must not be used afterwards.
-func (r *Receiver) ReleaseBuffers() { r.wnd.ReleaseAll() }
+func (r *Receiver) ReleaseBuffers() {
+	r.wnd.ReleaseAll()
+	if r.head != nil {
+		r.head.ReleaseAll()
+	}
+}
+
+// Head exposes the repair-head machine (nil unless configured) for
+// inspection in tests and the control plane.
+func (r *Receiver) Head() *repair.Head { return r.head }
 
 // Window exposes the receive window for inspection in tests and stats.
 func (r *Receiver) Window() *window.ReceiveWindow { return r.wnd }

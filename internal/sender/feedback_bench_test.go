@@ -1,0 +1,68 @@
+package sender
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/packet"
+	"repro/internal/rate"
+	"repro/internal/sim"
+)
+
+// benchFeedbackPlane measures the sender-side cost of one feedback
+// round: every reporter delivers one status packet (a flat receiver's
+// UPDATE, or a repair head's AGG_UPDATE speaking for its subtree),
+// then the sender ticks. The window is kept half-empty so release
+// never stalls and the measurement isolates the feedback path.
+func benchFeedbackPlane(b *testing.B, reporters, subtree int) {
+	s := New(Config{
+		SndBuf:     64 * (1000 + packet.HeaderSize),
+		MSS:        1000,
+		Mode:       HRMC,
+		InitialRTT: 10 * sim.Millisecond,
+		Rate:       rate.Config{MinRate: 1e6, MaxRate: 1e8, MSS: 1000},
+	})
+	now := sim.Time(0)
+	s.Write(now, make([]byte, 32*1000))
+	now += kernel.Jiffy
+	s.Tick(now)
+	s.Outgoing()
+	for i := 0; i < reporters; i++ {
+		s.HandlePacket(now, packet.NodeID(i+1),
+			&packet.Packet{Header: packet.Header{Type: packet.TypeJoin, Seq: 0}})
+	}
+	s.Outgoing()
+
+	report := &packet.Packet{Header: packet.Header{Type: packet.TypeUpdate, Seq: 10}}
+	if subtree > 0 {
+		report = &packet.Packet{Header: packet.Header{
+			Type: packet.TypeAggUpdate, Seq: 10, Length: uint32(subtree),
+		}}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		now += kernel.Jiffy
+		for i := 0; i < reporters; i++ {
+			s.HandlePacket(now, packet.NodeID(i+1), report)
+		}
+		s.Tick(now)
+		s.Outgoing()
+	}
+}
+
+// BenchmarkFeedbackPlane compares a flat population reporting straight
+// to the sender against the same population folded behind repair heads
+// (~1% of the population, as in the netsim hierarchy scenario): one op
+// is one full feedback round for the whole group.
+func BenchmarkFeedbackPlane(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		heads := n / 100
+		b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) {
+			benchFeedbackPlane(b, n, 0)
+		})
+		b.Run(fmt.Sprintf("hier/n=%d", n), func(b *testing.B) {
+			benchFeedbackPlane(b, heads, (n-heads)/heads)
+		})
+	}
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// receivers rebuild single losses without a NAK round trip. Zero
 	// disables FEC.
 	FECGroupSize int
+	// TombstoneTTL bounds how long the final state of a departed member
+	// is remembered for the stale-NAK guard. Under sustained join/leave
+	// churn the departed map would otherwise grow without bound; a
+	// straggler NAK older than this is vanishingly unlikely and merely
+	// earns a harmless NAK_ERR. Zero means 30 seconds.
+	TombstoneTTL sim.Time
 
 	// Stats receives counters; nil allocates a private set.
 	Stats *stats.Sender
@@ -119,6 +125,9 @@ func (c *Config) sanitize() {
 	}
 	if c.KeepaliveMax <= 0 {
 		c.KeepaliveMax = 2 * sim.Second
+	}
+	if c.TombstoneTTL <= 0 {
+		c.TombstoneTTL = 30 * sim.Second
 	}
 	if c.Stats == nil {
 		c.Stats = &stats.Sender{}
@@ -151,6 +160,12 @@ type Out struct {
 type retransReq struct {
 	gap       window.Gap
 	notBefore sim.Time
+}
+
+// tombstone is the remembered final state of a departed member.
+type tombstone struct {
+	next seqspace.Seq
+	at   sim.Time
 }
 
 // Sender is the H-RMC sender state machine. Not safe for concurrent use;
@@ -194,8 +209,11 @@ type Sender struct {
 	// so the stale-NAK guard in onNak still recognises a straggler
 	// (reordered or duplicated) NAK from a receiver that has since sent
 	// LEAVE — without it, release after the last LEAVE empties the
-	// window and the straggler would earn a spurious NAK_ERR.
-	departed map[packet.NodeID]seqspace.Seq
+	// window and the straggler would earn a spurious NAK_ERR. Entries
+	// expire after TombstoneTTL (swept from the tick) so churn cannot
+	// grow the map without bound.
+	departed      map[packet.NodeID]tombstone
+	lastTombSweep sim.Time
 
 	// fenc is the FEC parity encoder (extension), nil when disabled.
 	fenc *fec.Encoder
@@ -254,6 +272,11 @@ func (s *Sender) SetMaxRate(bytesPerSec float64) { s.rc.SetCeiling(bytesPerSec) 
 
 // Members returns the current receiver count.
 func (s *Sender) Members() int { return s.members.Len() }
+
+// MaxJoined returns the high-water mark of the membership table — the
+// most entries (leaves or repair heads) the sender ever tracked at
+// once. The hierarchy scale tests assert this stays O(heads).
+func (s *Sender) MaxJoined() int { return s.maxJoined }
 
 // WindowBytes returns the bytes currently buffered in the send window.
 func (s *Sender) WindowBytes() int { return s.wnd.Bytes() }
@@ -385,6 +408,8 @@ func (s *Sender) HandlePacket(now sim.Time, from packet.NodeID, p *packet.Packet
 		s.onControl(now, from, p)
 	case packet.TypeUpdate:
 		s.onUpdate(now, from, p)
+	case packet.TypeAggUpdate:
+		s.onAggUpdate(now, from, p)
 	}
 }
 
@@ -419,9 +444,9 @@ func (s *Sender) onLeave(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.members.Update(from, seqspace.Seq(p.Seq), now)
 	if m := s.members.Lookup(from); m != nil && m.KnownState {
 		if s.departed == nil {
-			s.departed = make(map[packet.NodeID]seqspace.Seq)
+			s.departed = make(map[packet.NodeID]tombstone)
 		}
-		s.departed[from] = m.NextExpected
+		s.departed[from] = tombstone{next: m.NextExpected, at: now}
 	}
 	s.members.Remove(from)
 	trace.Emit(s.cfg.Trace, now, trace.MemberLeft, p.Seq, int64(s.members.Len()))
@@ -462,7 +487,7 @@ func (s *Sender) onNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
 				if m.KnownState && seqspace.AtOrAfter(m.NextExpected, gap.To) {
 					return
 				}
-			} else if ne, ok := s.departed[from]; ok && seqspace.AtOrAfter(ne, gap.To) {
+			} else if tb, ok := s.departed[from]; ok && seqspace.AtOrAfter(tb.next, gap.To) {
 				return
 			}
 			// The request cannot be satisfied.
@@ -527,6 +552,24 @@ func (s *Sender) onUpdate(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.st.UpdatesReceived++
 	s.sampleProbeRTT(now, from)
 	s.members.Update(from, seqspace.Seq(p.Seq), now)
+}
+
+// onAggUpdate processes one aggregated UPDATE from a repair head
+// (hierarchical recovery extension): Seq is the minimum next-expected
+// sequence number over the head's whole subtree, Length its downstream
+// member count. The head is registered as a member if its JOIN was
+// lost, and its entry is updated non-monotonically — a new leaf joining
+// behind the subtree front legitimately regresses the minimum.
+func (s *Sender) onAggUpdate(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	s.st.AggUpdatesReceived++
+	s.sampleProbeRTT(now, from)
+	if _, added := s.members.Add(from, now); added {
+		trace.Emit(s.cfg.Trace, now, trace.MemberJoined, p.Seq, int64(s.members.Len()))
+		if s.members.Len() > s.maxJoined {
+			s.maxJoined = s.members.Len()
+		}
+	}
+	s.members.UpdateAggregate(from, seqspace.Seq(p.Seq), int(p.Length), now)
 }
 
 // onRepairHeard cancels deferred retransmissions covered by a repair a
@@ -618,9 +661,29 @@ func (s *Sender) Tick(now sim.Time) {
 	}
 
 	// Flow-control gauges for observers (session snapshots, control
-	// plane): the rate actually being paced and its current ceiling.
+	// plane): the rate actually being paced and its current ceiling,
+	// plus the repair-tier shape of the membership table.
 	s.st.RateBps = int64(s.rc.Rate(now))
 	s.st.CeilingBps = int64(s.rc.Ceiling())
+	s.st.RepairHeads = int64(s.members.Heads())
+	s.st.DownstreamMembers = int64(s.members.Downstream())
+
+	s.sweepTombstones(now)
+}
+
+// sweepTombstones evicts departed-member tombstones older than the TTL.
+// The sweep itself is amortized: it walks the map at most once per TTL,
+// so steady-state cost is O(expired) not O(departed) per tick.
+func (s *Sender) sweepTombstones(now sim.Time) {
+	if len(s.departed) == 0 || now-s.lastTombSweep < s.cfg.TombstoneTTL {
+		return
+	}
+	s.lastTombSweep = now
+	for addr, tb := range s.departed {
+		if now-tb.at >= s.cfg.TombstoneTTL {
+			delete(s.departed, addr)
+		}
+	}
 }
 
 // retransmit services the retransmission request list, multicasting the

@@ -427,7 +427,9 @@ func (f *ReceiverFlow) handleBatch(now sim.Time, env []transport.Envelope) {
 		f.sender = env[0].From
 	}
 	for i := range env {
-		retained, _ := f.m.HandleEnvelope(now, env[i].Pkt)
+		// The source address rides along so a repair head can attribute
+		// downstream member feedback (JOIN/UPDATE/LEAVE/HEAD_NAK).
+		retained, _ := f.m.HandleFrom(now, env[i].From, env[i].Pkt)
 		if !retained {
 			transport.PutPacket(env[i].Pkt)
 		}
@@ -442,6 +444,10 @@ func (f *ReceiverFlow) flushLocked() {
 	items := f.itemScratch[:0]
 	for _, p := range f.m.OutgoingMulticast() {
 		items = f.stage(items, p, false, true, 0)
+	}
+	// Repair-plane traffic (leaf↔head) carries its own destination.
+	for _, a := range f.m.OutgoingAddressed() {
+		items = f.stage(items, a.Pkt, false, false, a.To)
 	}
 	// Unicast feedback stays queued in the machine until the sender's
 	// node ID is learned from its first packet.

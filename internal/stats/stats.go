@@ -43,6 +43,15 @@ type Sender struct {
 	// wanted to advance the window but could not because receiver
 	// information was lacking.
 	ReleaseStalls int64
+
+	// Hierarchical repair tier (extension). AggUpdatesReceived counts
+	// AGG_UPDATE packets from repair heads; RepairHeads and
+	// DownstreamMembers are gauges refreshed on every transmit tick:
+	// how many membership-table entries are repair heads, and how many
+	// downstream receivers those heads report in aggregate.
+	AggUpdatesReceived int64
+	RepairHeads        int64
+	DownstreamMembers  int64
 }
 
 // ReleaseInfoRatio returns the Figure 3 percentage: the fraction of
@@ -77,4 +86,21 @@ type Receiver struct {
 	// MaxFillPermille tracks the highest receive-window fill observed,
 	// in thousandths — a diagnostic for flow-control studies.
 	MaxFillPermille int64
+
+	// Hierarchical repair tier (extension). RepairHead is 1 when this
+	// receiver serves as a repair head, 0 otherwise; RepairMembers is a
+	// gauge of its current downstream membership. The remaining fields
+	// count head activity: HEAD_NAKs received from downstream members,
+	// those suppressed as duplicates within the suppression interval,
+	// those answered from the head's retained window, those escalated
+	// to the sender, downstream members evicted by timeout, and
+	// aggregated UPDATEs emitted to the sender.
+	RepairHead           int64
+	RepairMembers        int64
+	HeadNaksReceived     int64
+	HeadNaksSuppressed   int64
+	HeadNaksAnswered     int64
+	HeadNaksEscalated    int64
+	RepairMembersEvicted int64
+	AggUpdatesSent       int64
 }

@@ -48,6 +48,11 @@ const (
 	FecParitySent
 	FecRecovered
 
+	// Hierarchical repair tier.
+	AggUpdateSent
+	HeadRepairSent
+	HeadNakEscalated
+
 	numKinds
 )
 
@@ -72,6 +77,9 @@ var kindNames = [...]string{
 	StreamComplete:     "stream-complete",
 	FecParitySent:      "fec-parity-sent",
 	FecRecovered:       "fec-recovered",
+	AggUpdateSent:      "agg-update-sent",
+	HeadRepairSent:     "head-repair-sent",
+	HeadNakEscalated:   "head-nak-escalated",
 }
 
 // String returns the event kind's name.

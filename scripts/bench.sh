@@ -13,15 +13,24 @@
 # allocation-light harness (source data and reader scratch hoisted out
 # of the timed loop), so baseline and current count the same things.
 #
+# It also runs BenchmarkFeedbackPlane (flat vs. hierarchical feedback
+# at 1k/10k receivers) and writes BENCH_6.json with the per-round cost
+# and the flat/hier ratio — the repair tier's sender-side win as a
+# checked-in artifact. The gate there is shape, not speed: the
+# hierarchical round must stay at least 10x cheaper than the flat one
+# at 10k receivers.
+#
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 # Env:
-#   BENCH_OUT  output path (default BENCH_5.json in the repo root)
+#   BENCH_OUT   output path (default BENCH_5.json in the repo root)
+#   BENCH6_OUT  feedback-plane output path (default BENCH_6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3x}"
 OUT="${BENCH_OUT:-BENCH_5.json}"
+OUT6="${BENCH6_OUT:-BENCH_6.json}"
 
 RAW=$(HRMC_BENCH_FLOWS=1,12,64 go test -run '^$' -bench 'BenchmarkSessionMultiplex' \
 	-benchtime "$BENCHTIME" -benchmem .)
@@ -66,3 +75,43 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT"
+
+RAW6=$(go test -run '^$' -bench 'BenchmarkFeedbackPlane' \
+	-benchtime "$BENCHTIME" ./internal/sender)
+echo "$RAW6"
+
+echo "$RAW6" | awk -v benchtime="$BENCHTIME" '
+/BenchmarkFeedbackPlane\// {
+	name = $1
+	sub(/^BenchmarkFeedbackPlane\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	# Fields: name iters ns "ns/op"
+	ns[name] = $3
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkFeedbackPlane\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"note\": \"ns per full feedback round at the sender: every flat receiver sends one UPDATE vs. every repair head (1%% of the population) sending one AGG_UPDATE\",\n"
+	printf "  \"rounds\": {\n"
+	for (i = 0; i < n; i++) {
+		printf "    \"%s\": {\"ns_op\": %s}%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+	}
+	printf "  }"
+	if (("flat/n=10000" in ns) && ("hier/n=10000" in ns) && ns["hier/n=10000"] + 0 > 0) {
+		ratio = ns["flat/n=10000"] / ns["hier/n=10000"]
+		printf ",\n  \"flat_over_hier_10k\": %.1f\n", ratio
+	} else {
+		ratio = -1
+		printf "\n"
+	}
+	printf "}\n"
+	# Gate: the hierarchical round must stay >= 10x cheaper at 10k.
+	if (ratio >= 0 && ratio < 10) {
+		printf "bench.sh: feedback-plane ratio %.1fx < 10x at 10k receivers\n", ratio > "/dev/stderr"
+		exit 1
+	}
+}' > "$OUT6"
+
+echo "wrote $OUT6"
