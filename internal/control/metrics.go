@@ -26,6 +26,7 @@ var gaugeFields = map[string]bool{
 	"RepairMembers":     true,
 	"RepairHeads":       true,
 	"DownstreamMembers": true,
+	"OrphanedLeaves":    true,
 }
 
 // snakeCase converts a Go field name (PacketsSent, RateBps) to a
@@ -109,7 +110,10 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// Repair-tier shape, derived from the receiver aggregates: RepairHead
 	// is 1 per head flow (so the sum is the head count) and RepairMembers
-	// sums each head's downstream membership.
+	// sums each head's downstream membership. hrmc_head_failovers is the
+	// failure-domain headline: how many times a leaf declared its head
+	// dead and re-homed to the sender.
+	add("hrmc_head_failovers", float64(agg.Receiver.HeadFailovers), false, "")
 	add("hrmc_repair_heads", float64(agg.Receiver.RepairHead), true, "")
 	if agg.Receiver.RepairHead > 0 {
 		add("hrmc_repair_members_per_head",

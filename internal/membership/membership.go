@@ -36,6 +36,11 @@ type Member struct {
 	KnownState bool
 	// LastHeard is when feedback last arrived from this receiver.
 	LastHeard sim.Time
+	// JoinedAt is when the receiver's (most recent) JOIN arrived. A
+	// restarted or re-homed receiver legitimately NAKs data transmitted
+	// before it existed; RTT sampling must ignore such packets, since
+	// transmission-to-NAK time then measures history, not the network.
+	JoinedAt sim.Time
 	// LastProbed is when the sender last unicast a PROBE to this
 	// receiver, used to rate-limit probing to once per round trip.
 	LastProbed sim.Time
@@ -101,7 +106,7 @@ func (t *Table) Add(addr packet.NodeID, now sim.Time) (m *Member, added bool) {
 		m.LastHeard = now
 		return m, false
 	}
-	m = &Member{Addr: addr, LastHeard: now}
+	m = &Member{Addr: addr, LastHeard: now, JoinedAt: now}
 	b := bucket(addr)
 	m.hnext = t.buckets[b]
 	t.buckets[b] = m
@@ -238,6 +243,21 @@ func (t *Table) AllPast(seq seqspace.Seq) bool {
 func (t *Table) Lacking(seq seqspace.Seq, dst []*Member) []*Member {
 	for m := t.head; m != nil; m = m.next {
 		if !m.KnownState || !seqspace.After(m.NextExpected, seq) {
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+// StaleHeads appends to dst every repair-head member whose last feedback
+// of any kind is at least timeout old — the candidates for silent-head
+// eviction. Leaves are never reported: an idle leaf is probed, not
+// evicted, because only heads carry an obligation to speak periodically
+// (the AGG_UPDATE timer). Callers collect first and Remove afterwards;
+// removing during an Each walk is unsafe.
+func (t *Table) StaleHeads(now, timeout sim.Time, dst []*Member) []*Member {
+	for m := t.head; m != nil; m = m.next {
+		if m.Head && now-m.LastHeard >= timeout {
 			dst = append(dst, m)
 		}
 	}

@@ -339,3 +339,33 @@ func TestHeadsAndDownstreamCounters(t *testing.T) {
 		t.Fatalf("heads=%d downstream=%d after removing a leaf, want 1 and 4", tb.Heads(), tb.Downstream())
 	}
 }
+
+// StaleHeads reports only repair heads past the timeout: leaves are
+// probed, not evicted, and a recently heard head is not stale.
+func TestStaleHeads(t *testing.T) {
+	var tb Table
+	for a := packet.NodeID(1); a <= 3; a++ {
+		tb.Add(a, 0)
+	}
+	tb.UpdateAggregate(1, 10, 4, 0) // head, silent since t=0
+	tb.UpdateAggregate(2, 10, 6, 0) // head, will speak again
+	tb.Update(3, 10, 0)             // leaf, silent since t=0
+	tb.UpdateAggregate(2, 12, 6, 900)
+	stale := tb.StaleHeads(1000, 1000, nil)
+	if len(stale) != 1 || stale[0].Addr != 1 {
+		t.Fatalf("stale heads = %v, want exactly head 1", stale)
+	}
+	// JoinedAt marks the most recent explicit JOIN: Add on a present
+	// member refreshes LastHeard but not JoinedAt (that is the caller's
+	// restart signal to apply).
+	m, added := tb.Add(1, 1100)
+	if added {
+		t.Fatal("Add on a present member reported added")
+	}
+	if m.JoinedAt != 0 || m.LastHeard != 1100 {
+		t.Fatalf("JoinedAt=%v LastHeard=%v, want 0 and 1100", m.JoinedAt, m.LastHeard)
+	}
+	if got := tb.StaleHeads(1100, 1000, nil); len(got) != 0 {
+		t.Fatalf("refreshed head still stale: %v", got)
+	}
+}

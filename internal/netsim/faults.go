@@ -1,0 +1,200 @@
+// Fault injection for both network models: a FaultPlan is a declarative
+// schedule of node crashes and restarts, pairwise link partitions, and
+// timed loss bursts. The models consult the shared faultState on every
+// delivery, so a fault expressed once applies uniformly to multicast
+// fan-out, repair-plane unicast, and feedback paths alike. This is the
+// substrate for the chaos scenarios: a repair head dying mid-flow, a
+// partitioned leaf rejoining, a flash crowd arriving through a lossy
+// window.
+package netsim
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FaultKind classifies one scheduled fault.
+type FaultKind int
+
+const (
+	// FaultCrash silences a node: it stops processing, emitting, and
+	// receiving. In-flight packets it already sent still deliver — a
+	// crash kills the process, not the photons on the wire.
+	FaultCrash FaultKind = iota
+	// FaultRestart revives a crashed node with a cold machine: the model
+	// rebuilds its protocol state from scratch (empty windows, no
+	// retained repair data), which is what makes head-restart scenarios
+	// interesting.
+	FaultRestart
+	// FaultPartition cuts the pair (A, B) in both directions until a
+	// matching FaultHeal. The sender is NodeID 0.
+	FaultPartition
+	// FaultHeal removes the (A, B) cut.
+	FaultHeal
+	// FaultBurstLoss drops packets touching Node (or every packet when
+	// Node is 0) with probability Loss during [At, Until).
+	FaultBurstLoss
+)
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	At   sim.Time
+	Kind FaultKind
+	// Node is the crash/restart target, or the burst's focus (0 = the
+	// whole network).
+	Node packet.NodeID
+	// A, B are the partition endpoints (0 = the sender).
+	A, B packet.NodeID
+	// Until ends a loss burst.
+	Until sim.Time
+	// Loss is the burst drop probability.
+	Loss float64
+}
+
+// FaultPlan is a buildable schedule of faults. The zero value is an
+// empty plan; the builder methods return the plan for chaining.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// CrashAt schedules a node crash.
+func (p *FaultPlan) CrashAt(at sim.Time, node packet.NodeID) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultCrash, Node: node})
+	return p
+}
+
+// RestartAt schedules a cold restart of a crashed node.
+func (p *FaultPlan) RestartAt(at sim.Time, node packet.NodeID) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultRestart, Node: node})
+	return p
+}
+
+// PartitionAt cuts the pair (a, b) in both directions; 0 is the sender.
+func (p *FaultPlan) PartitionAt(at sim.Time, a, b packet.NodeID) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultPartition, A: a, B: b})
+	return p
+}
+
+// HealAt removes the (a, b) cut.
+func (p *FaultPlan) HealAt(at sim.Time, a, b packet.NodeID) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultHeal, A: a, B: b})
+	return p
+}
+
+// BurstLossAt drops packets touching node (0 = all packets) with
+// probability loss during [at, until).
+func (p *FaultPlan) BurstLossAt(at, until sim.Time, node packet.NodeID, loss float64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultBurstLoss, Node: node, Until: until, Loss: loss})
+	return p
+}
+
+// cutKey normalizes a partition pair so (a,b) and (b,a) share one entry.
+func cutKey(a, b packet.NodeID) [2]packet.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]packet.NodeID{a, b}
+}
+
+// faultState is the live fault machinery one model instance owns. All
+// methods are nil-safe so fault-free runs pay a single pointer check.
+type faultState struct {
+	crashed map[packet.NodeID]bool
+	cuts    map[[2]packet.NodeID]bool
+	bursts  []FaultEvent
+	rng     *sim.RNG
+
+	// Drops counts packets the fault plane destroyed (burst loss only;
+	// crash and partition drops are deterministic and uncounted).
+	Drops int64
+
+	// onCrash and onRestart are the model's hooks: marking the node dead
+	// and rebuilding its machine are model-specific.
+	onCrash   func(packet.NodeID)
+	onRestart func(packet.NodeID)
+}
+
+// newFaultState builds the live state for a plan; nil plan yields nil
+// state (every method tolerates the nil receiver).
+func newFaultState(plan *FaultPlan, rng *sim.RNG) *faultState {
+	if plan == nil || len(plan.Events) == 0 {
+		return nil
+	}
+	f := &faultState{
+		crashed: make(map[packet.NodeID]bool),
+		cuts:    make(map[[2]packet.NodeID]bool),
+		rng:     rng,
+	}
+	for _, e := range plan.Events {
+		if e.Kind == FaultBurstLoss {
+			f.bursts = append(f.bursts, e)
+		}
+	}
+	return f
+}
+
+// install schedules the plan's discrete events (crash, restart,
+// partition, heal) on the engine. Bursts need no events: Blocked
+// consults their time windows directly.
+func (f *faultState) install(eng *sim.Engine, plan *FaultPlan) {
+	if f == nil {
+		return
+	}
+	for _, e := range plan.Events {
+		ev := e
+		switch ev.Kind {
+		case FaultCrash:
+			eng.At(ev.At, func() {
+				f.crashed[ev.Node] = true
+				if f.onCrash != nil {
+					f.onCrash(ev.Node)
+				}
+			})
+		case FaultRestart:
+			eng.At(ev.At, func() {
+				delete(f.crashed, ev.Node)
+				if f.onRestart != nil {
+					f.onRestart(ev.Node)
+				}
+			})
+		case FaultPartition:
+			eng.At(ev.At, func() { f.cuts[cutKey(ev.A, ev.B)] = true })
+		case FaultHeal:
+			eng.At(ev.At, func() { delete(f.cuts, cutKey(ev.A, ev.B)) })
+		}
+	}
+}
+
+// Crashed reports whether node is currently down.
+func (f *faultState) Crashed(node packet.NodeID) bool {
+	return f != nil && f.crashed[node]
+}
+
+// Blocked decides the fate of one packet traveling between a and b
+// (either direction; 0 is the sender) at time now: dropped when either
+// endpoint is crashed, the pair is partitioned, or an active loss burst
+// touching an endpoint draws against it.
+func (f *faultState) Blocked(now sim.Time, a, b packet.NodeID) bool {
+	if f == nil {
+		return false
+	}
+	if f.crashed[a] || f.crashed[b] {
+		return true
+	}
+	if len(f.cuts) > 0 && f.cuts[cutKey(a, b)] {
+		return true
+	}
+	for _, e := range f.bursts {
+		if now < e.At || now >= e.Until {
+			continue
+		}
+		if e.Node != 0 && e.Node != a && e.Node != b {
+			continue
+		}
+		if f.rng.Bool(e.Loss) {
+			f.Drops++
+			return true
+		}
+	}
+	return false
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/receiver"
 	"repro/internal/repair"
 	"repro/internal/sender"
+	"repro/internal/seqspace"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,25 @@ type HierarchyConfig struct {
 	HeadLoss    float64
 	SubtreeLoss float64
 	LeafLoss    float64
+
+	// Faults schedules crashes, restarts, partitions, and loss bursts
+	// (nil = fault-free). Restarted nodes come back with cold machines
+	// and re-anchor mid-stream (receiver.Config.JoinInProgress).
+	Faults *FaultPlan
+	// ReadoptHead propagates to every leaf: a failed-over leaf
+	// re-attaches to its head when the head's traffic reappears.
+	ReadoptHead bool
+	// LeafHeadSilence and LeafNakBudget tune the leaves' failover
+	// detection (receiver.Config.HeadSilenceTimeout and
+	// HeadNakRetryBudget): zero keeps the receiver defaults, negative
+	// disables that detector.
+	LeafHeadSilence sim.Time
+	LeafNakBudget   int
+	// HeadMemberTimeout tunes how long a head keeps a silent leaf in
+	// its aggregate (repair.Config.MemberTimeout); zero keeps the
+	// repair default. Chaos scenarios shorten it so a partitioned
+	// leaf's frozen frontier stops gating the sender's release.
+	HeadMemberTimeout sim.Time
 }
 
 // hNode is one simulated receiver host in the hierarchy.
@@ -58,12 +78,29 @@ type hNode struct {
 	head bool
 	tree int // subtree index; head i owns the leaves with tree == i
 
+	// rcfg is the machine's construction config, kept so a restart can
+	// rebuild it cold (with JoinInProgress set).
+	rcfg    receiver.Config
+	crashed bool
+	// pendingRebase defers pattern-verification re-anchoring until the
+	// rebuilt machine reports its JoinInProgress anchor point.
+	pendingRebase bool
+
 	Received   int64
 	BadBytes   int64
 	verifyOff  int64
 	Finished   bool
 	FinishedAt sim.Time
 }
+
+// Crashed reports whether the node is currently down.
+func (nd *hNode) Crashed() bool { return nd.crashed }
+
+// ID returns the node's simulated unicast address.
+func (nd *hNode) ID() packet.NodeID { return nd.id }
+
+// IsHead reports whether the node was built as a repair head.
+func (nd *hNode) IsHead() bool { return nd.head }
 
 // Hierarchy owns the two-level simulation.
 type Hierarchy struct {
@@ -77,6 +114,18 @@ type Hierarchy struct {
 
 	nodes    []*hNode // heads first (index 0..Heads-1), then leaves
 	finished int
+	// base is the size of the constructed topology; nodes appended later
+	// by AddLeaf live past it (see eachLeaf).
+	base int
+	// crashedUnfinished counts nodes that are down and had not finished;
+	// done() excludes them, so a run can complete around a dead host.
+	crashedUnfinished int
+
+	faults *faultState
+	// mss and initialSeq are the sender's stream geometry, kept to
+	// translate a restarted node's rebase anchor into a byte offset.
+	mss        int
+	initialSeq seqspace.Seq
 
 	headLoss    *sim.RNG
 	subtreeLoss *sim.RNG
@@ -109,7 +158,17 @@ func NewHierarchy(cfg HierarchyConfig, scfg sender.Config) *Hierarchy {
 	h.headLoss = rng.Stream(1)
 	h.subtreeLoss = rng.Stream(2)
 	h.leafLoss = rng.Stream(3)
+	// Derived only when a plan exists: Stream consumes parent RNG state,
+	// and fault-free runs must draw identically to earlier builds.
+	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
+		h.faults = newFaultState(cfg.Faults, rng.Stream(4))
+	}
 
+	h.mss = scfg.MSS
+	if h.mss <= 0 {
+		h.mss = 1400 // the sender.Config default
+	}
+	h.initialSeq = scfg.InitialSeq
 	h.snd = sender.New(scfg)
 
 	total := cfg.Heads * (1 + cfg.LeavesPerHead)
@@ -118,33 +177,123 @@ func NewHierarchy(cfg HierarchyConfig, scfg sender.Config) *Hierarchy {
 		id := packet.NodeID(i + 1)
 		rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC}
 		if !cfg.Flat {
-			rcfg.Head = &repair.Config{}
+			rcfg.Head = &repair.Config{MemberTimeout: cfg.HeadMemberTimeout}
 		}
-		h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, head: true, tree: i})
+		h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, head: true, tree: i, rcfg: rcfg})
 	}
 	for i := 0; i < cfg.Heads; i++ {
 		for j := 0; j < cfg.LeavesPerHead; j++ {
 			id := packet.NodeID(len(h.nodes) + 1)
-			rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC}
-			if !cfg.Flat {
-				rcfg.RepairHead = packet.NodeID(i + 1)
-			}
-			h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, tree: i})
+			rcfg := h.leafConfig(id, i)
+			h.nodes = append(h.nodes, &hNode{M: receiver.New(rcfg), id: id, tree: i, rcfg: rcfg})
 		}
 	}
+	h.base = len(h.nodes)
+	if h.faults != nil {
+		h.faults.onCrash = h.onCrash
+		h.faults.onRestart = h.onRestart
+	}
 	return h
+}
+
+// leafConfig builds one leaf's receiver config, applying the model-wide
+// failover knobs.
+func (h *Hierarchy) leafConfig(id packet.NodeID, tree int) receiver.Config {
+	rcfg := receiver.Config{LocalAddr: id, RcvBuf: h.cfg.Buf, Mode: receiver.HRMC}
+	if !h.cfg.Flat {
+		rcfg.RepairHead = packet.NodeID(tree + 1)
+		rcfg.ReadoptHead = h.cfg.ReadoptHead
+		rcfg.HeadSilenceTimeout = h.cfg.LeafHeadSilence
+		rcfg.HeadNakRetryBudget = h.cfg.LeafNakBudget
+	}
+	return rcfg
+}
+
+// AddLeaf joins a fresh leaf to subtree tree mid-run (the flash-crowd
+// scenario): the new machine anchors to the in-progress stream
+// (JoinInProgress) and its pattern verification starts at the anchor.
+// Call from a scheduled event, not concurrently with the engine.
+func (h *Hierarchy) AddLeaf(tree int) *hNode {
+	id := packet.NodeID(len(h.nodes) + 1)
+	rcfg := h.leafConfig(id, tree)
+	rcfg.JoinInProgress = true
+	nd := &hNode{M: receiver.New(rcfg), id: id, tree: tree, rcfg: rcfg, pendingRebase: true}
+	h.nodes = append(h.nodes, nd)
+	return nd
+}
+
+// onCrash marks a node dead. Its machine keeps its state (useless — a
+// restart rebuilds cold) but stops being ticked or delivered to.
+func (h *Hierarchy) onCrash(node packet.NodeID) {
+	idx := int(node) - 1
+	if idx < 0 || idx >= len(h.nodes) {
+		return
+	}
+	nd := h.nodes[idx]
+	if nd.crashed {
+		return
+	}
+	nd.crashed = true
+	if !nd.Finished {
+		h.crashedUnfinished++
+	}
+}
+
+// onRestart revives a crashed node with a cold machine: empty windows,
+// no retained repair state, JoinInProgress so it anchors mid-stream.
+// Delivery accounting restarts from the anchor.
+func (h *Hierarchy) onRestart(node packet.NodeID) {
+	idx := int(node) - 1
+	if idx < 0 || idx >= len(h.nodes) {
+		return
+	}
+	nd := h.nodes[idx]
+	if !nd.crashed {
+		return
+	}
+	nd.crashed = false
+	if !nd.Finished {
+		h.crashedUnfinished--
+	} else {
+		// Restarting a finished node re-opens its delivery: it must
+		// finish again from its new anchor.
+		h.finished--
+	}
+	rcfg := nd.rcfg
+	rcfg.JoinInProgress = true
+	nd.M = receiver.New(rcfg)
+	nd.Received, nd.BadBytes, nd.verifyOff = 0, 0, 0
+	nd.Finished, nd.FinishedAt = false, 0
+	nd.pendingRebase = true
 }
 
 // Sender returns the sender machine (for assertions).
 func (h *Hierarchy) Sender() *sender.Sender { return h.snd }
 
+// FaultDrops returns how many packets the fault plane's loss bursts
+// destroyed (zero without a plan).
+func (h *Hierarchy) FaultDrops() int64 {
+	if h.faults == nil {
+		return 0
+	}
+	return h.faults.Drops
+}
+
 // Nodes returns all receiver nodes, heads first.
 func (h *Hierarchy) Nodes() []*hNode { return h.nodes }
 
-// leaves returns the leaf nodes of subtree i.
-func (h *Hierarchy) leaves(tree int) []*hNode {
+// eachLeaf visits the leaf nodes of subtree tree: the constructed block
+// plus any leaves AddLeaf appended mid-run.
+func (h *Hierarchy) eachLeaf(tree int, fn func(*hNode)) {
 	start := h.cfg.Heads + tree*h.cfg.LeavesPerHead
-	return h.nodes[start : start+h.cfg.LeavesPerHead]
+	for _, nd := range h.nodes[start : start+h.cfg.LeavesPerHead] {
+		fn(nd)
+	}
+	for _, nd := range h.nodes[h.base:] {
+		if nd.tree == tree && !nd.head {
+			fn(nd)
+		}
+	}
 }
 
 // tick is the per-jiffy driver: one event advances the sender and every
@@ -159,6 +308,9 @@ func (h *Hierarchy) tick() {
 	h.snd.Tick(now)
 	h.flushSender(now)
 	for _, nd := range h.nodes {
+		if nd.crashed {
+			continue
+		}
 		nd.M.Advance(now)
 		h.drainReads(nd, now)
 		h.flushNode(nd, now)
@@ -225,13 +377,13 @@ func (h *Hierarchy) flushSender(now sim.Time) {
 						h.Drops += int64(h.cfg.LeavesPerHead)
 						continue
 					}
-					for _, nd := range h.leaves(tree) {
+					h.eachLeaf(tree, func(nd *hNode) {
 						if h.leafLoss.Bool(h.cfg.LeafLoss) {
 							h.Drops++
-							continue
+							return
 						}
 						h.deliverToNode(nd, 0, pkt)
-					}
+					})
 				}
 			})
 			continue
@@ -263,24 +415,28 @@ func (h *Hierarchy) flushNode(nd *hNode, now sim.Time) {
 		from := nd.id
 		h.Engine.At(now+delayUp, func() {
 			t := h.Engine.Now()
+			if h.faults.Blocked(t, from, 0) {
+				return
+			}
 			h.SenderFeedback++
 			h.snd.HandlePacket(t, from, pkt)
 			h.flushSender(t)
 		})
 	}
 	for _, p := range nd.M.OutgoingMulticast() {
-		// A head's repair reaches only its own subtree — that scoping is
-		// the whole point of the tier. (Leaves never multicast: local
-		// recovery is off.)
+		// Subtree-scoped multicast: a head's repairs and declines reach
+		// only its own subtree — that scoping is the whole point of the
+		// tier. A failed-over leaf's multicast (a HEAD_DECLINE relayed
+		// before failover) also stays within its subtree.
 		pkt := p
 		tree := nd.tree
 		self := nd
 		h.Engine.At(now+h.cfg.LeafDelay, func() {
-			for _, leaf := range h.leaves(tree) {
+			h.eachLeaf(tree, func(leaf *hNode) {
 				if leaf != self {
 					h.deliverToNode(leaf, self.id, pkt)
 				}
-			}
+			})
 		})
 	}
 	for _, a := range nd.M.OutgoingAddressed() {
@@ -297,12 +453,28 @@ func (h *Hierarchy) flushNode(nd *hNode, now sim.Time) {
 
 func (h *Hierarchy) deliverToNode(nd *hNode, from packet.NodeID, p *packet.Packet) {
 	t := h.Engine.Now()
+	if nd.crashed || h.faults.Blocked(t, from, nd.id) {
+		return
+	}
 	nd.M.HandleFrom(t, from, p)
 	h.drainReads(nd, t)
 	h.flushNode(nd, t)
 }
 
 func (h *Hierarchy) drainReads(nd *hNode, now sim.Time) {
+	if nd.pendingRebase {
+		// A mid-stream joiner (restart or flash crowd) delivers from its
+		// anchor, not from byte zero: translate the anchor sequence into
+		// a byte offset. Exact only while every packet before the anchor
+		// carried MSS bytes — the sender's 64 KiB feed buffer guarantees
+		// that when MSS divides it; chaos scenarios pick such an MSS.
+		rb, ok := nd.M.RebasedAt()
+		if !ok {
+			return // nothing readable before the anchor exists
+		}
+		nd.verifyOff = int64(seqspace.Diff(rb, h.initialSeq)) * int64(h.mss)
+		nd.pendingRebase = false
+	}
 	for {
 		m, err := nd.M.Read(now, h.readBuf)
 		if m > 0 {
@@ -324,12 +496,14 @@ func (h *Hierarchy) drainReads(nd *hNode, now sim.Time) {
 }
 
 func (h *Hierarchy) done() bool {
-	return h.snd.Done() && h.finished == len(h.nodes)
+	// Crashed nodes are excluded: the run completes around a dead host.
+	return h.snd.Done() && h.finished+h.crashedUnfinished == len(h.nodes)
 }
 
 // Run drives the simulation until the transfer completes or limit
 // elapses, returning a Result over all nodes.
 func (h *Hierarchy) Run(limit sim.Time) Result {
+	h.faults.install(h.Engine, h.cfg.Faults)
 	h.Engine.At(jiffy, h.tick)
 	for h.Engine.Now() < limit && !h.done() {
 		if !h.Engine.Step() {
@@ -339,7 +513,11 @@ func (h *Hierarchy) Run(limit sim.Time) Result {
 	res := Result{Completed: true, NICDrops: h.Drops}
 	for _, nd := range h.nodes {
 		if !nd.Finished {
-			res.Completed = false
+			// A node down at the end of the run does not count against
+			// completion; every live node must have finished.
+			if !nd.crashed {
+				res.Completed = false
+			}
 			continue
 		}
 		if nd.FinishedAt > res.Duration {

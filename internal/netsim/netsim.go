@@ -18,6 +18,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/receiver"
 	"repro/internal/sender"
+	"repro/internal/seqspace"
 	"repro/internal/sim"
 )
 
@@ -60,6 +61,20 @@ type Config struct {
 	// LowerLayerDelay is the measured lower-layer cost (150 µs),
 	// modeled as pipeline latency.
 	LowerLayerDelay sim.Time
+
+	// Faults schedules crashes, restarts, partitions, and loss bursts
+	// against this network (nil = fault-free). A crashed receiver stops
+	// processing; a restart rebuilds its machine via the host's Rebuild
+	// hook. The sender (NodeID 0) cannot crash in this model.
+	Faults *FaultPlan
+	// StreamMSS and StreamInitialSeq describe the sender's stream
+	// geometry so a rebuilt receiver's pattern verification can
+	// re-anchor: a JoinInProgress rebase at sequence s corresponds to
+	// byte offset (s − StreamInitialSeq)·StreamMSS. Only consulted when
+	// Faults restarts receivers; exact while every pre-anchor packet
+	// carries MSS bytes (pick an MSS dividing the 64 KiB feed buffer).
+	StreamMSS        int
+	StreamInitialSeq seqspace.Seq
 }
 
 // DefaultConfig returns the paper's host model on a network of the given
@@ -94,6 +109,8 @@ type Network struct {
 	// Per-group router serialization and loss streams.
 	groups map[string]*groupRouter
 
+	faults *faultState
+
 	// Drop counters.
 	NICDrops    int64
 	RouterDrops int64
@@ -109,12 +126,55 @@ func New(cfg Config) *Network {
 	if cfg.LineRate <= 0 {
 		cfg.LineRate = Rate10Mbps
 	}
-	return &Network{
+	n := &Network{
 		Engine: &sim.Engine{},
 		cfg:    cfg,
 		rng:    sim.NewRNG(cfg.Seed),
 		groups: make(map[string]*groupRouter),
 	}
+	// Derive the fault stream only when a plan exists: Stream consumes
+	// parent RNG state, and a fault-free run must draw identically to a
+	// build without fault support at all.
+	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
+		n.faults = newFaultState(cfg.Faults, n.rng.Stream(99))
+		n.faults.onCrash = n.onCrash
+		n.faults.onRestart = n.onRestart
+	}
+	return n
+}
+
+// onCrash marks the receiver with the given address as down; its tick
+// keeps rescheduling (cheap) but skips all processing.
+func (n *Network) onCrash(node packet.NodeID) {
+	if r := n.receiverByID(node); r != nil {
+		r.crashed = true
+	}
+}
+
+// onRestart revives a crashed receiver with a cold machine built by its
+// Rebuild hook (a restart without Rebuild resumes the old machine — the
+// process froze rather than died).
+func (n *Network) onRestart(node packet.NodeID) {
+	r := n.receiverByID(node)
+	if r == nil {
+		return
+	}
+	r.crashed = false
+	if r.Rebuild == nil {
+		return
+	}
+	r.M = r.Rebuild()
+	r.Received, r.BadBytes, r.verifyOff = 0, 0, 0
+	r.Finished, r.FinishedAt = false, 0
+	r.pendingRebase = true
+}
+
+func (n *Network) receiverByID(node packet.NodeID) *ReceiverHost {
+	idx := int(node) - 1
+	if idx < 0 || idx >= len(n.rcvs) {
+		return nil
+	}
+	return n.rcvs[idx]
 }
 
 func (n *Network) group(g Group) *groupRouter {
@@ -197,7 +257,18 @@ type ReceiverHost struct {
 	BadBytes   int64 // pattern-verification failures (must stay zero)
 	verifyOff  int64
 	readBuf    []byte
+
+	// Rebuild constructs a cold replacement machine when a FaultRestart
+	// revives this host (typically receiver.New with JoinInProgress set).
+	Rebuild func() *receiver.Receiver
+	crashed bool
+	// pendingRebase defers verification re-anchoring until the rebuilt
+	// machine reports its JoinInProgress anchor (see Config.StreamMSS).
+	pendingRebase bool
 }
+
+// Crashed reports whether the host is currently down.
+func (r *ReceiverHost) Crashed() bool { return r.crashed }
 
 // AddSender installs the sender host; only one is supported (the paper's
 // protocol is single-source).
@@ -233,11 +304,21 @@ func (n *Network) Receivers() []*ReceiverHost { return n.rcvs }
 // Sender returns the installed sender host.
 func (n *Network) Sender() *SenderHost { return n.snd }
 
+// FaultDrops returns how many packets the fault plane's loss bursts
+// destroyed (zero without a plan).
+func (n *Network) FaultDrops() int64 {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.Drops
+}
+
 // Start arms the per-jiffy ticks. Call after all hosts are added.
 func (n *Network) Start() {
 	if n.snd == nil {
 		panic("netsim: no sender")
 	}
+	n.faults.install(n.Engine, n.cfg.Faults)
 	n.scheduleSenderTick(jiffy)
 	for _, r := range n.rcvs {
 		n.scheduleReceiverTick(r, jiffy)
@@ -299,6 +380,14 @@ func (s *SenderHost) feedWindow(now sim.Time) {
 func (n *Network) scheduleReceiverTick(r *ReceiverHost, at sim.Time) {
 	n.Engine.At(at, func() {
 		now := n.Engine.Now()
+		if r.crashed {
+			// Down: no processing, but keep the tick alive so a restart
+			// resumes without rescheduling machinery.
+			if !n.done() {
+				n.scheduleReceiverTick(r, now+jiffy)
+			}
+			return
+		}
 		r.M.Advance(now)
 		n.drainReads(r, now)
 		n.flushReceiver(r, now)
@@ -310,6 +399,14 @@ func (n *Network) scheduleReceiverTick(r *ReceiverHost, at sim.Time) {
 
 // drainReads performs application reads within the sink's budget.
 func (n *Network) drainReads(r *ReceiverHost, now sim.Time) {
+	if r.pendingRebase {
+		rb, ok := r.M.RebasedAt()
+		if !ok {
+			return // nothing readable before the anchor exists
+		}
+		r.verifyOff = int64(seqspace.Diff(rb, n.cfg.StreamInitialSeq)) * int64(n.cfg.StreamMSS)
+		r.pendingRebase = false
+	}
 	for {
 		budget := r.Sink.Budget(now)
 		if budget <= 0 {
@@ -394,9 +491,15 @@ func (n *Network) deliverToReceiver(exit sim.Time, from packet.NodeID, r *Receiv
 	pkt := p.Clone()
 	n.Engine.At(arrive, func() {
 		now := n.Engine.Now()
+		if r.crashed || n.faults.Blocked(now, from, r.id) {
+			return
+		}
 		done := r.cpu(now, len(pkt.Payload))
 		n.Engine.At(done, func() {
 			t := n.Engine.Now()
+			if r.crashed {
+				return
+			}
 			r.M.HandleFrom(t, from, pkt)
 			n.drainReads(r, t)
 			n.flushReceiver(r, t)
@@ -426,6 +529,9 @@ func (n *Network) flushReceiver(r *ReceiverHost, now sim.Time) {
 		origin := r
 		n.Engine.At(exit+r.Group.Delay+n.cfg.LowerLayerDelay, func() {
 			t0 := n.Engine.Now()
+			if n.faults.Blocked(t0, origin.id, 0) {
+				return
+			}
 			done := n.snd.cpu(t0, len(pkt.Payload))
 			n.Engine.At(done, func() {
 				t := n.Engine.Now()
@@ -486,6 +592,9 @@ func (n *Network) flushReceiver(r *ReceiverHost, now sim.Time) {
 		from := r.id
 		n.Engine.At(arrive, func() {
 			t0 := n.Engine.Now()
+			if n.faults.Blocked(t0, from, 0) {
+				return
+			}
 			done := n.snd.cpu(t0, len(pkt.Payload))
 			n.Engine.At(done, func() {
 				t := n.Engine.Now()
@@ -502,7 +611,7 @@ func (n *Network) done() bool {
 		return false
 	}
 	for _, r := range n.rcvs {
-		if !r.Finished {
+		if !r.Finished && !r.crashed {
 			return false
 		}
 	}
@@ -546,7 +655,11 @@ func (n *Network) Run(limit sim.Time) Result {
 	}
 	for _, r := range n.rcvs {
 		if !r.Finished {
-			res.Completed = false
+			// Hosts down at the end of the run don't count against
+			// completion; every live host must have finished.
+			if !r.crashed {
+				res.Completed = false
+			}
 			continue
 		}
 		if r.FinishedAt > res.Duration {

@@ -67,6 +67,13 @@ const (
 	// members, Length the downstream member count. Not part of the
 	// paper's Table 1.
 	TypeAggUpdate
+	// TypeHeadDecline is a repair head's explicit refusal: the head
+	// cannot serve [Seq, Seq+Length) — the range is outside its retained
+	// window and the sender has already released it — so downstream
+	// receivers must recover end-to-end instead of re-asking the head.
+	// Multicast into the subtree like a repair. Not part of the paper's
+	// Table 1.
+	TypeHeadDecline
 	typeMax
 )
 
@@ -86,6 +93,7 @@ var typeNames = [...]string{
 	TypeFec:           "FEC",
 	TypeHeadNak:       "HEAD_NAK",
 	TypeAggUpdate:     "AGG_UPDATE",
+	TypeHeadDecline:   "HEAD_DECLINE",
 }
 
 // String returns the paper's name for the packet type.

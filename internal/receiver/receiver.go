@@ -127,6 +127,26 @@ type Config struct {
 	// the sender — rate control stays end-to-end. Ignored when Head is
 	// set (a head reports straight to the sender).
 	RepairHead packet.NodeID
+	// HeadNakRetryBudget (leaf mode) is how many NAK retries one missing
+	// packet may burn, unanswered by any head traffic, before the leaf
+	// declares the head dead and fails over to flat mode. Zero means
+	// DefaultHeadNakRetryBudget; negative disables the budget.
+	HeadNakRetryBudget int
+	// HeadSilenceTimeout (leaf mode) declares the head dead when a
+	// response-expecting request (JOIN, HEAD_NAK, LEAVE) has been
+	// outstanding this long with no traffic from the head at all. Zero
+	// means DefaultHeadSilenceTimeout; negative disables the timer.
+	HeadSilenceTimeout sim.Time
+	// ReadoptHead re-attaches a failed-over leaf to its configured head
+	// when the head's traffic reappears (a restarted head).
+	ReadoptHead bool
+	// JoinInProgress admits this receiver to a stream already flowing:
+	// instead of NAKing the whole history back to InitialSeq, the
+	// receive window is rebased to the first position the receiver can
+	// anchor to (the first data packet seen, or one past a
+	// PROBE/KEEPALIVE sequence number) and delivery starts there. Used
+	// by restarted repair heads and late (flash-crowd) joiners.
+	JoinInProgress bool
 
 	// Stats receives counters; nil allocates a private set.
 	Stats *stats.Receiver
@@ -168,10 +188,25 @@ func (c *Config) sanitize() {
 	if c.RepairHead != 0 {
 		c.LocalRecovery = false
 	}
+	if c.HeadNakRetryBudget == 0 {
+		c.HeadNakRetryBudget = DefaultHeadNakRetryBudget
+	}
+	if c.HeadSilenceTimeout == 0 {
+		c.HeadSilenceTimeout = DefaultHeadSilenceTimeout
+	}
 	if c.Stats == nil {
 		c.Stats = &stats.Receiver{}
 	}
 }
+
+// Leaf-failover defaults for Config fields left zero. The silence
+// timeout must stay well below the sender's own head-eviction timeout
+// so stranded leaves re-home (and re-gate releases) before the sender
+// forgets their evicted head.
+const (
+	DefaultHeadNakRetryBudget = 6
+	DefaultHeadSilenceTimeout = 2 * sim.Second
+)
 
 // nakEntry tracks one pending missing packet for the NAK Manager.
 type nakEntry struct {
@@ -180,6 +215,10 @@ type nakEntry struct {
 	// deferUntil suppresses the first NAK until the given time (FEC
 	// extension: give the parity packet a chance to repair the gap).
 	deferUntil sim.Time
+	// direct routes this entry's NAKs straight to the sender even while
+	// attached to a repair head — set when the head declined the range
+	// (HEAD_DECLINE): re-asking the head cannot help.
+	direct bool
 }
 
 // Receiver is the H-RMC receiver state machine. Not safe for concurrent
@@ -237,6 +276,24 @@ type Receiver struct {
 	// responses) with explicit destinations.
 	head    *repair.Head
 	outAddr []Addressed
+
+	// Repair-head failover state (leaf mode). headDown is set when the
+	// configured head has been declared dead and the leaf has degraded
+	// to flat mode; headWaitSince is when the oldest still-unanswered
+	// head-bound request went out (zero = nothing outstanding) — the
+	// head-silence clock.
+	headDown      bool
+	headWaitSince sim.Time
+	// rebased records the JoinInProgress anchor point (mid-stream join).
+	rebased   bool
+	rebasedTo seqspace.Seq
+	// drainStart is when a departing head began waiting for its subtree
+	// to drain (deferred LEAVE); bounded by the head's LeaveDrainTimeout.
+	drainStart sim.Time
+	// dead marks sequence numbers the sender refused with NAK_ERR:
+	// released end-to-end, unrecoverable. The NAK manager stops asking;
+	// the hole stays visible as a stream that never advances past it.
+	dead map[seqspace.Seq]bool
 }
 
 // Addressed is one outgoing packet with an explicit unicast destination
@@ -355,13 +412,50 @@ func (r *Receiver) reportedNext() seqspace.Seq {
 	return r.wnd.Next()
 }
 
+// leafHead returns the repair head this receiver currently addresses:
+// the configured head in leaf mode, or zero once the leaf has failed
+// over to flat mode (or was never a leaf).
+func (r *Receiver) leafHead() packet.NodeID {
+	if r.headDown {
+		return 0
+	}
+	return r.cfg.RepairHead
+}
+
+// noteHeadWait starts the head-silence clock when a response-expecting
+// packet goes to the head and nothing is already outstanding. Zero
+// means "no request outstanding", so a request at exactly t=0 is
+// recorded one tick late rather than not at all.
+func (r *Receiver) noteHeadWait(now sim.Time) {
+	if r.leafHead() != 0 && r.headWaitSince == 0 {
+		if now == 0 {
+			now = 1
+		}
+		r.headWaitSince = now
+	}
+}
+
+// onHeadTraffic feeds the head-liveness tracker: any packet from the
+// configured head proves it alive.
+func (r *Receiver) onHeadTraffic(now sim.Time) {
+	if r.headDown {
+		if r.cfg.ReadoptHead {
+			r.readoptHead(now)
+		}
+		return
+	}
+	r.headWaitSince = 0
+}
+
 // emitNak routes a retransmission request: to the repair head as a
-// HEAD_NAK in leaf mode, multicast under local recovery (so peers can
-// repair and suppress), unicast to the sender otherwise.
-func (r *Receiver) emitNak(p *packet.Packet) {
-	if r.cfg.RepairHead != 0 {
+// HEAD_NAK in leaf mode (unless the entry was re-homed by a decline —
+// direct), multicast under local recovery (so peers can repair and
+// suppress), unicast to the sender otherwise.
+func (r *Receiver) emitNak(now sim.Time, p *packet.Packet, direct bool) {
+	if h := r.leafHead(); h != 0 && !direct {
 		p.Type = packet.TypeHeadNak
-		r.emitTo(p, r.cfg.RepairHead)
+		r.emitTo(p, h)
+		r.noteHeadWait(now)
 		return
 	}
 	if r.cfg.LocalRecovery {
@@ -374,13 +468,13 @@ func (r *Receiver) emitNak(p *packet.Packet) {
 }
 
 func (r *Receiver) emit(p *packet.Packet) {
-	if r.cfg.RepairHead != 0 {
+	if h := r.leafHead(); h != 0 {
 		// Leaf mode: membership feedback belongs to the repair head, not
 		// the sender. CONTROL (rate requests) and everything else stays
 		// end-to-end.
 		switch p.Type {
 		case packet.TypeJoin, packet.TypeUpdate, packet.TypeLeave:
-			r.emitTo(p, r.cfg.RepairHead)
+			r.emitTo(p, h)
 			return
 		}
 	}
@@ -421,19 +515,23 @@ func (r *Receiver) HandleEnvelope(now sim.Time, p *packet.Packet) (retained bool
 // LEAVE, HEAD_NAK). from may be zero when unknown; member feedback is
 // then rejected.
 func (r *Receiver) HandleFrom(now sim.Time, from packet.NodeID, p *packet.Packet) (retained bool, err error) {
+	if r.cfg.RepairHead != 0 && from != 0 && from == r.cfg.RepairHead {
+		r.onHeadTraffic(now)
+	}
 	// An unconfigured RemotePort is learned from the sender's source
 	// port, the way a connected socket learns its peer — only from
 	// sender-originated types, so a peer's multicast NAK (local
 	// recovery) can never hijack the feedback address. In leaf mode the
 	// JOIN/LEAVE responses come from the repair head, not the sender,
-	// so they are excluded there.
+	// so they are excluded there (until a failover re-homes the
+	// handshake to the sender).
 	if r.cfg.RemotePort == 0 && p.SrcPort != 0 {
 		switch p.Type {
 		case packet.TypeData, packet.TypeKeepalive, packet.TypeProbe,
 			packet.TypeFec, packet.TypeNakErr:
 			r.cfg.RemotePort = p.SrcPort
 		case packet.TypeJoinResponse, packet.TypeLeaveResponse:
-			if r.cfg.RepairHead == 0 {
+			if r.leafHead() == 0 {
 				r.cfg.RemotePort = p.SrcPort
 			}
 		}
@@ -446,9 +544,14 @@ func (r *Receiver) HandleFrom(now sim.Time, from packet.NodeID, p *packet.Packet
 	case packet.TypeProbe:
 		r.onProbe(now, p)
 	case packet.TypeJoinResponse:
-		r.onJoinResponse(now)
+		r.onJoinResponse(now, from)
 	case packet.TypeLeaveResponse:
-		r.leaveAcked = true
+		// Only a LEAVE this receiver actually has in flight can be acked;
+		// responses to the auxiliary LEAVEs a re-adoption sends (retiring
+		// a direct sender membership) must not complete the handshake.
+		if r.leaveSent {
+			r.leaveAcked = true
+		}
 	case packet.TypeNak:
 		if !r.cfg.LocalRecovery {
 			return false, ErrNotData
@@ -459,10 +562,9 @@ func (r *Receiver) HandleFrom(now sim.Time, from packet.NodeID, p *packet.Packet
 		// rebuilt packet), so the parity packet itself is never retained.
 		r.onFec(now, p)
 	case packet.TypeNakErr:
-		// The sender released data we still need: under H-RMC this is a
-		// protocol invariant violation surfaced to the application; the
-		// RMC baseline documents it as an application-visible error.
-		// Counted via stats (no counter increment needed beyond naks).
+		r.onNakErr(now, p)
+	case packet.TypeHeadDecline:
+		r.onHeadDecline(now, from, p)
 	case packet.TypeJoin:
 		if r.head == nil || from == 0 {
 			return false, ErrNotData
@@ -535,12 +637,24 @@ func (r *Receiver) onHeadNak(now sim.Time, from packet.NodeID, p *packet.Packet)
 		}
 		trace.Emit(r.cfg.Trace, now, trace.HeadNakEscalated, uint32(escFrom), int64(escCount))
 		r.emit(&packet.Packet{Header: packet.Header{
-			Type:    packet.TypeNak,
-			Seq:     uint32(escFrom),
-			Length:  escCount,
+			Type:   packet.TypeNak,
+			Seq:    uint32(escFrom),
+			Length: escCount,
+			// An escalated NAK's timing is multi-hop (leaf -> head ->
+			// sender): mark it re-asked so it never feeds the RTT estimate.
+			Tries:   1,
 			RateAdv: uint32(r.reportedNext()),
 		}})
 		escCount = 0
+	}
+	var decFrom seqspace.Seq
+	var decCount uint32
+	flushDec := func() {
+		if decCount == 0 {
+			return
+		}
+		r.sendDecline(now, decFrom, decCount)
+		decCount = 0
 	}
 	for seq := first; seqspace.Before(seq, to); seq++ {
 		if r.head.Handled(now, seq) {
@@ -556,9 +670,19 @@ func (r *Receiver) onHeadNak(now sim.Time, from packet.NodeID, p *packet.Packet)
 			payload, flags = src.Payload, src.Flags&packet.FlagFIN
 		} else if wp, ok := r.wnd.PayloadAt(seq); ok {
 			payload = wp
+		} else if r.head.Declined(now, seq) {
+			// The sender already refused this range: re-escalating cannot
+			// help, so answer with an explicit decline (coalesced).
+			flushEsc()
+			if decCount == 0 {
+				decFrom = seq
+			}
+			decCount++
+			continue
 		} else {
 			// Not held here: escalate (coalescing consecutive numbers).
 			r.st.HeadNaksEscalated++
+			flushDec()
 			if escCount == 0 {
 				escFrom = seq
 			}
@@ -566,6 +690,7 @@ func (r *Receiver) onHeadNak(now sim.Time, from packet.NodeID, p *packet.Packet)
 			continue
 		}
 		flushEsc()
+		flushDec()
 		r.st.HeadNaksAnswered++
 		trace.Emit(r.cfg.Trace, now, trace.HeadRepairSent, uint32(seq), int64(len(payload)))
 		pl := make([]byte, len(payload))
@@ -586,13 +711,196 @@ func (r *Receiver) onHeadNak(now sim.Time, from packet.NodeID, p *packet.Packet)
 		r.outMC.Push(rep)
 	}
 	flushEsc()
+	flushDec()
 	r.feedbackInPer = true
+}
+
+// onNakErr processes an authoritative sender refusal: the requested
+// range is below the send window and no longer retransmittable.
+func (r *Receiver) onNakErr(now sim.Time, p *packet.Packet) {
+	r.st.NakErrsHeard++
+	first := seqspace.Seq(p.Seq)
+	to := first + seqspace.Seq(p.Length)
+	if p.Length == 0 {
+		to = first + 1
+	}
+	if r.head != nil {
+		// Head mode, escalate-or-decline: the subtree member that asked
+		// must hear an explicit refusal, never silence — record the
+		// range and multicast a HEAD_DECLINE so leaves re-home their
+		// recovery end-to-end.
+		for seq := first; seqspace.Before(seq, to); seq++ {
+			r.head.Decline(now, seq)
+		}
+		r.sendDecline(now, first, seqspace.Count(first, to))
+		return
+	}
+	// Flat (or failed-over leaf): the data is gone for good and retrying
+	// cannot help. The NAK manager stops asking; the hole stays visible
+	// to the application as a stream that never advances past it.
+	for seq := first; seqspace.Before(seq, to); seq++ {
+		if _, ok := r.pending[seq]; !ok {
+			continue
+		}
+		if r.dead == nil {
+			r.dead = make(map[seqspace.Seq]bool)
+		}
+		if !r.dead[seq] {
+			r.dead[seq] = true
+			r.st.UnrecoverableHoles++
+		}
+		delete(r.pending, seq)
+	}
+	r.armNakTimer(now)
+}
+
+// sendDecline multicasts a HEAD_DECLINE into the subtree (head mode):
+// an explicit refusal for [first, first+count), which the sender has
+// released and the head cannot serve.
+func (r *Receiver) sendDecline(now sim.Time, first seqspace.Seq, count uint32) {
+	if count == 0 {
+		count = 1
+	}
+	r.st.HeadDeclinesSent++
+	trace.Emit(r.cfg.Trace, now, trace.HeadDeclineSent, uint32(first), int64(count))
+	d := &packet.Packet{Header: packet.Header{
+		Type:   packet.TypeHeadDecline,
+		Seq:    uint32(first),
+		Length: count,
+	}}
+	d.SrcPort = r.cfg.LocalPort
+	d.DstPort = r.cfg.LocalPort
+	r.outMC.Push(d)
+}
+
+// onHeadDecline processes the head's explicit refusal (leaf mode): the
+// covered gaps re-home to end-to-end recovery — further NAKs for them
+// go straight to the sender.
+func (r *Receiver) onHeadDecline(now sim.Time, from packet.NodeID, p *packet.Packet) {
+	if r.leafHead() == 0 || from == 0 || from != r.cfg.RepairHead {
+		return
+	}
+	r.st.HeadDeclinesHeard++
+	first := seqspace.Seq(p.Seq)
+	to := first + seqspace.Seq(p.Length)
+	if p.Length == 0 {
+		to = first + 1
+	}
+	changed := false
+	for seq := first; seqspace.Before(seq, to); seq++ {
+		if e, ok := r.pending[seq]; ok && !e.direct {
+			e.direct = true
+			e.tries = 0
+			e.deferUntil = 0
+			changed = true
+		}
+	}
+	if changed {
+		r.sendDueNaks(now)
+		r.armNakTimer(now)
+	}
+}
+
+// failover degrades a leaf to flat mode: the configured repair head is
+// declared dead, so membership and recovery re-home to the sender.
+func (r *Receiver) failover(now sim.Time) {
+	if r.leafHead() == 0 {
+		return
+	}
+	r.headDown = true
+	r.headWaitSince = 0
+	r.st.HeadFailovers++
+	trace.Emit(r.cfg.Trace, now, trace.HeadFailover, uint32(r.wnd.Next()), int64(r.cfg.RepairHead))
+	if r.joined && !r.finDelivered {
+		// Fresh JOIN handshake with the sender. Karn's rule: a sample
+		// would mix head and sender round trips, so it is discarded.
+		r.joinAcked = false
+		r.joinAmbiguous = true
+		r.sendJoin(now)
+	}
+	// Pending recovery restarts cleanly against the sender.
+	for _, e := range r.pending {
+		e.tries = 0
+		e.deferUntil = 0
+	}
+	if len(r.pending) > 0 {
+		r.sendDueNaks(now)
+		r.armNakTimer(now)
+	}
+	if r.leaveSent && !r.leaveAcked {
+		// The LEAVE went to the dead head; close membership with the
+		// sender directly.
+		r.emit(&packet.Packet{Header: packet.Header{
+			Type: packet.TypeLeave,
+			Seq:  uint32(r.wnd.Next()),
+		}})
+	}
+}
+
+// readoptHead re-attaches a failed-over leaf to its configured head —
+// called when head traffic reappears and ReadoptHead is on.
+func (r *Receiver) readoptHead(now sim.Time) {
+	r.headDown = false
+	r.headWaitSince = 0
+	r.st.HeadReadoptions++
+	trace.Emit(r.cfg.Trace, now, trace.HeadReadopted, uint32(r.wnd.Next()), int64(r.cfg.RepairHead))
+	for _, e := range r.pending {
+		e.direct = false
+	}
+	if r.joined && !r.finDelivered {
+		// Hand membership back to the head ...
+		r.joinAcked = false
+		r.joinAmbiguous = true
+		r.sendJoin(now)
+		// ... and retire the direct sender membership so the sender
+		// returns to O(heads) state. Deliberately not routed through
+		// emit (which now reroutes LEAVEs to the head) and without
+		// touching this leaf's own LEAVE handshake state.
+		lv := &packet.Packet{Header: packet.Header{
+			Type: packet.TypeLeave,
+			Seq:  uint32(r.wnd.Next()),
+		}}
+		lv.SrcPort = r.cfg.LocalPort
+		lv.DstPort = r.cfg.RemotePort
+		r.out.Push(lv)
+	}
+}
+
+// anchor fixes the JoinInProgress rebase point: the receive window is
+// moved to seq so a mid-stream joiner delivers from there instead of
+// NAKing the whole history.
+func (r *Receiver) anchor(seq seqspace.Seq) {
+	if r.rebased || !r.cfg.JoinInProgress {
+		return
+	}
+	if !r.wnd.Rebase(seq) {
+		// Data already anchored the window; record where it stands.
+		r.rebasedTo, r.rebased = r.wnd.Base(), true
+		return
+	}
+	r.rebasedTo, r.rebased = seq, true
+}
+
+// anchorAndJoin anchors at seq and starts the JOIN handshake — the path
+// taken when the first thing a mid-stream joiner hears is a KEEPALIVE
+// or PROBE rather than data.
+func (r *Receiver) anchorAndJoin(now sim.Time, seq seqspace.Seq) {
+	r.anchor(seq)
+	if !r.joined {
+		r.joined = true
+		r.joinTime = now
+		r.sendJoin(now)
+	}
 }
 
 // onData reports whether p was stored in the receive window (retained).
 func (r *Receiver) onData(now sim.Time, p *packet.Packet) bool {
 	r.advRate = p.RateAdv
 	firstData := !r.joined
+	if !r.seenAnyData {
+		// Mid-stream joiner: deliver from the first packet seen.
+		r.anchor(seqspace.Seq(p.Seq))
+	}
 	r.seenAnyData = true
 	if r.repairPending != nil {
 		// Seeing the data (from anyone) cancels our scheduled repair.
@@ -645,6 +953,10 @@ func (r *Receiver) syncNakList(now sim.Time) {
 	newGap := false
 	for _, g := range missing {
 		for s := g.From; seqspace.Before(s, g.To); s++ {
+			if r.dead[s] {
+				// Authoritatively refused (NAK_ERR): never re-request.
+				continue
+			}
 			present[s] = true
 			if _, ok := r.pending[s]; !ok {
 				e := &nakEntry{}
@@ -676,22 +988,32 @@ func (r *Receiver) syncNakList(now sim.Time) {
 func (r *Receiver) sendDueNaks(now sim.Time) {
 	gaps := r.wnd.Missing(nil)
 	sent := false
+	exhausted := false
 	for _, g := range gaps {
 		var from seqspace.Seq
 		var count uint32
+		var runDirect, runRetry bool
 		flushRun := func() {
 			if count == 0 {
 				return
 			}
 			sent = true
+			// Tries marks a re-asked NAK: the sender must not take an RTT
+			// sample from it, since the elapsed time includes our backoff.
+			var tries uint8
+			if runRetry {
+				tries = 1
+			}
 			trace.Emit(r.cfg.Trace, now, trace.NakSent, uint32(from), int64(count))
-			r.emitNak(&packet.Packet{Header: packet.Header{
+			r.emitNak(now, &packet.Packet{Header: packet.Header{
 				Type:    packet.TypeNak,
 				Seq:     uint32(from),
 				Length:  count,
+				Tries:   tries,
 				RateAdv: uint32(r.reportedNext()),
-			}})
+			}}, runDirect)
 			count = 0
+			runRetry = false
 		}
 		for s := g.From; seqspace.Before(s, g.To); s++ {
 			e := r.pending[s]
@@ -699,8 +1021,7 @@ func (r *Receiver) sendDueNaks(now sim.Time) {
 				flushRun()
 				continue
 			}
-			interval := r.cfg.NakRetryInterval * sim.Time(e.tries+1)
-			due := e.tries == 0 || now-e.lastSent >= interval
+			due := e.tries == 0 || now-e.lastSent >= r.retryInterval(e)
 			if now < e.deferUntil {
 				due = false
 			}
@@ -708,15 +1029,27 @@ func (r *Receiver) sendDueNaks(now sim.Time) {
 				flushRun()
 				continue
 			}
-			if e.tries == 0 {
-				r.st.NaksSent++
-			} else {
+			retry := e.tries != 0
+			if retry {
 				r.st.NakRetries++
+			} else {
+				r.st.NaksSent++
 			}
 			e.lastSent = now
 			e.tries++
+			if r.leafHead() != 0 && !e.direct &&
+				r.cfg.HeadNakRetryBudget > 0 && e.tries > r.cfg.HeadNakRetryBudget {
+				exhausted = true
+			}
+			if count > 0 && e.direct != runDirect {
+				// Head-bound and direct entries cannot share one NAK.
+				flushRun()
+			}
 			if count == 0 {
-				from = s
+				from, runDirect = s, e.direct
+			}
+			if retry {
+				runRetry = true
 			}
 			count++
 		}
@@ -725,6 +1058,28 @@ func (r *Receiver) sendDueNaks(now sim.Time) {
 	if sent {
 		r.feedbackInPer = true
 	}
+	if exhausted {
+		// The head absorbed a full retry budget without a sign of life.
+		r.failover(now)
+	}
+}
+
+// retryInterval computes the backoff before a pending NAK is resent:
+// linear in flat mode (the local NAK-suppression window), exponential
+// toward a repair head so a dead head is detected within the retry
+// budget without flooding it first.
+func (r *Receiver) retryInterval(e *nakEntry) sim.Time {
+	if r.leafHead() != 0 && !e.direct {
+		shift := e.tries - 1
+		if shift < 0 {
+			shift = 0
+		}
+		if shift > 6 {
+			shift = 6
+		}
+		return r.cfg.NakRetryInterval << uint(shift)
+	}
+	return r.cfg.NakRetryInterval * sim.Time(e.tries+1)
 }
 
 // armNakTimer schedules the NAK Manager for the earliest pending retry.
@@ -740,7 +1095,7 @@ func (r *Receiver) armNakTimer(now sim.Time) {
 		if e.tries == 0 {
 			at = now
 		} else {
-			at = e.lastSent + r.cfg.NakRetryInterval*sim.Time(e.tries+1)
+			at = e.lastSent + r.retryInterval(e)
 		}
 		if at < e.deferUntil {
 			at = e.deferUntil
@@ -939,6 +1294,13 @@ func (r *Receiver) onFec(now sim.Time, p *packet.Packet) {
 func (r *Receiver) onKeepalive(now sim.Time, p *packet.Packet) {
 	r.st.KeepalivesHeard++
 	r.advRate = p.RateAdv
+	if r.cfg.JoinInProgress && !r.rebased && !r.seenAnyData {
+		// A mid-stream joiner must not NAK history it will never
+		// deliver: anchor one past the keepalive's last-transmitted
+		// sequence number and join from there.
+		r.anchorAndJoin(now, seqspace.Seq(p.Seq)+1)
+		return
+	}
 	// The keepalive carries the last sequence number transmitted; if we
 	// have not received through it, the tail of a burst was lost.
 	r.wnd.ExtendHighest(seqspace.Seq(p.Seq))
@@ -952,6 +1314,18 @@ func (r *Receiver) onProbe(now sim.Time, p *packet.Packet) {
 	r.st.ProbesReceived++
 	r.probesInPer++
 	probeSeq := seqspace.Seq(p.Seq)
+	if r.cfg.JoinInProgress && !r.rebased && !r.seenAnyData {
+		// Mid-stream joiner: the probed data predates us. Anchor past it
+		// and answer so the sender's release check stops waiting on a
+		// stale membership entry.
+		r.anchorAndJoin(now, probeSeq+1)
+		if r.head != nil {
+			r.sendAggUpdate(now)
+		} else {
+			r.sendUpdate(now)
+		}
+		return
+	}
 	if r.head != nil {
 		// Head mode: the probe asks about the subtree, and the aggregate
 		// is the answer. When the head itself lacks the probed data it
@@ -991,10 +1365,12 @@ func (r *Receiver) forceNak(now sim.Time) {
 		return
 	}
 	g := gaps[0]
+	var tries uint8
 	for s := g.From; seqspace.Before(s, g.To); s++ {
 		if e := r.pending[s]; e != nil {
 			if e.tries > 0 {
 				r.st.NakRetries++
+				tries = 1 // re-ask: not an RTT sample for the sender
 			} else {
 				r.st.NaksSent++
 			}
@@ -1002,12 +1378,13 @@ func (r *Receiver) forceNak(now sim.Time) {
 			e.tries++
 		}
 	}
-	r.emitNak(&packet.Packet{Header: packet.Header{
+	r.emitNak(now, &packet.Packet{Header: packet.Header{
 		Type:    packet.TypeNak,
 		Seq:     uint32(g.From),
 		Length:  g.Count(),
+		Tries:   tries,
 		RateAdv: uint32(r.reportedNext()),
-	}})
+	}}, false)
 	r.feedbackInPer = true
 	r.armNakTimer(now)
 }
@@ -1019,6 +1396,7 @@ func (r *Receiver) sendJoin(now sim.Time) {
 		Type: packet.TypeJoin,
 		Seq:  uint32(r.reportedNext()),
 	}})
+	r.noteHeadWait(now)
 	r.joinTimer.Arm(now + joinRetryInterval)
 }
 
@@ -1026,7 +1404,13 @@ func (r *Receiver) sendJoin(now sim.Time) {
 // has arrived.
 const joinRetryInterval = 50 * kernel.Jiffy
 
-func (r *Receiver) onJoinResponse(now sim.Time) {
+func (r *Receiver) onJoinResponse(now sim.Time, from packet.NodeID) {
+	if r.headDown && from != 0 && from == r.cfg.RepairHead {
+		// A stale ack from the failed head must not complete the JOIN
+		// handshake we re-homed to the sender. (With re-adoption on,
+		// onHeadTraffic already re-attached before we got here.)
+		return
+	}
 	if r.joinAcked || !r.joined {
 		return
 	}
@@ -1077,7 +1461,18 @@ func (r *Receiver) maybeLeave(now sim.Time) {
 		return
 	}
 	if !r.head.Drained(r.wnd.Next()) {
-		return
+		if r.drainStart == 0 {
+			r.drainStart = now
+			return
+		}
+		if now-r.drainStart < r.head.LeaveDrainTimeout() {
+			return
+		}
+		// Drain bound hit: one dead or wedged member must not hold the
+		// head's departure (and the sender's state for it) indefinitely.
+		r.st.HeadDrainTimeouts++
+		trace.Emit(r.cfg.Trace, now, trace.HeadDrainTimeout,
+			uint32(r.wnd.Next()), int64(r.head.Members()))
 	}
 	r.leaveSent = true
 	r.emit(&packet.Packet{Header: packet.Header{
@@ -1089,6 +1484,17 @@ func (r *Receiver) maybeLeave(now sim.Time) {
 // Advance fires any due timers: the NAK Manager and the Update
 // Generator. Drivers call it at their tick granularity or at NextWake.
 func (r *Receiver) Advance(now sim.Time) {
+	if r.leafHead() != 0 && r.headWaitSince != 0 && r.cfg.HeadSilenceTimeout > 0 {
+		if (!r.joined || r.joinAcked) && len(r.pending) == 0 &&
+			!(r.leaveSent && !r.leaveAcked) {
+			// Nothing outstanding anymore: the request was answered
+			// indirectly (e.g. the sender's multicast retransmission
+			// filled the gap), so the silence clock resets.
+			r.headWaitSince = 0
+		} else if now-r.headWaitSince >= r.cfg.HeadSilenceTimeout {
+			r.failover(now)
+		}
+	}
 	if r.nakTimer.Fire(now) {
 		r.sendDueNaks(now)
 		r.armNakTimer(now)
@@ -1184,6 +1590,7 @@ func (r *Receiver) Read(now sim.Time, buf []byte) (int, error) {
 				Type: packet.TypeLeave,
 				Seq:  uint32(r.wnd.Next()),
 			}})
+			r.noteHeadWait(now)
 		}
 		if n == 0 {
 			return 0, io.EOF
@@ -1208,6 +1615,15 @@ func (r *Receiver) ReleaseBuffers() {
 // Head exposes the repair-head machine (nil unless configured) for
 // inspection in tests and the control plane.
 func (r *Receiver) Head() *repair.Head { return r.head }
+
+// HeadDown reports whether a leaf has declared its repair head dead and
+// failed over to flat mode.
+func (r *Receiver) HeadDown() bool { return r.headDown }
+
+// RebasedAt returns the JoinInProgress anchor point and whether the
+// receiver anchored mid-stream. Drivers use it to translate delivered
+// bytes back to stream offsets.
+func (r *Receiver) RebasedAt() (seqspace.Seq, bool) { return r.rebasedTo, r.rebased }
 
 // Window exposes the receive window for inspection in tests and stats.
 func (r *Receiver) Window() *window.ReceiveWindow { return r.wnd }

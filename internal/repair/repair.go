@@ -61,6 +61,15 @@ const (
 	// DefaultWindowPackets bounds the head's retained retransmission
 	// window.
 	DefaultWindowPackets = 512
+	// DefaultLeaveDrainTimeout bounds how long a departing head defers
+	// its own LEAVE waiting for the subtree to drain. A silently-dead
+	// leaf would otherwise wedge shutdown for the full MemberTimeout.
+	DefaultLeaveDrainTimeout = 4 * sim.Second
+	// DefaultDeclineTTL is how long a declined sequence number is
+	// remembered. After expiry a re-asked decline is re-derived through
+	// the sender (escalate → NAK_ERR → decline), so a short TTL only
+	// costs one extra round trip.
+	DefaultDeclineTTL = 2 * sim.Second
 )
 
 // Config parameterizes a repair head.
@@ -81,6 +90,10 @@ type Config struct {
 	// window's base) — the invariant that makes non-pooled eviction a
 	// plain pointer drop.
 	WindowPackets int
+	// LeaveDrainTimeout caps the deferred-LEAVE drain: a departing head
+	// waits at most this long for every member to reach the stream end
+	// before leaving anyway. Zero means DefaultLeaveDrainTimeout.
+	LeaveDrainTimeout sim.Time
 }
 
 func (c *Config) sanitize() {
@@ -95,6 +108,9 @@ func (c *Config) sanitize() {
 	}
 	if c.WindowPackets <= 0 {
 		c.WindowPackets = DefaultWindowPackets
+	}
+	if c.LeaveDrainTimeout <= 0 {
+		c.LeaveDrainTimeout = DefaultLeaveDrainTimeout
 	}
 }
 
@@ -134,6 +150,12 @@ type Head struct {
 	// or escalated a repair — the NAK-suppression state.
 	answered map[seqspace.Seq]sim.Time
 
+	// declined records sequence numbers the sender refused (NAK_ERR): the
+	// data is released end-to-end and re-escalating cannot help, so the
+	// head answers further HEAD_NAKs for them with HEAD_DECLINE. Entries
+	// expire after DefaultDeclineTTL.
+	declined map[seqspace.Seq]sim.Time
+
 	// timer paces AGG_UPDATEs and member eviction.
 	timer kernel.Timer
 }
@@ -150,6 +172,7 @@ func NewHead(now sim.Time, cfg Config, pooled bool, st *stats.Receiver) *Head {
 		members:  make(map[packet.NodeID]*Member),
 		win:      make(map[seqspace.Seq]*packet.Packet),
 		answered: make(map[seqspace.Seq]sim.Time),
+		declined: make(map[seqspace.Seq]sim.Time),
 	}
 	st.RepairHead = 1
 	h.timer.ArmIn(now, cfg.AggregatePeriod)
@@ -262,6 +285,36 @@ func (h *Head) pruneAnswered(now sim.Time) {
 		}
 	}
 }
+
+// Decline records that the sender refused seq with a NAK_ERR: the range
+// is released and un-servable, so the head answers further HEAD_NAKs
+// for it with an explicit HEAD_DECLINE instead of re-escalating.
+func (h *Head) Decline(now sim.Time, seq seqspace.Seq) {
+	h.declined[seq] = now
+	if len(h.declined) > 4*h.cfg.WindowPackets {
+		for s, t := range h.declined {
+			if now-t >= DefaultDeclineTTL {
+				delete(h.declined, s)
+			}
+		}
+	}
+}
+
+// Declined reports whether seq carries an unexpired decline.
+func (h *Head) Declined(now sim.Time, seq seqspace.Seq) bool {
+	t, ok := h.declined[seq]
+	if !ok {
+		return false
+	}
+	if now-t >= DefaultDeclineTTL {
+		delete(h.declined, seq)
+		return false
+	}
+	return true
+}
+
+// LeaveDrainTimeout returns the configured deferred-LEAVE drain bound.
+func (h *Head) LeaveDrainTimeout() sim.Time { return h.cfg.LeaveDrainTimeout }
 
 // Aggregate returns the minimum next-expected sequence number across
 // the head's own frontier and all downstream members, plus the member

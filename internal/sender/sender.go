@@ -44,6 +44,15 @@ func (m Mode) String() string {
 	return "H-RMC"
 }
 
+// Silent-head failover defaults (see Config.HeadSilenceTimeout and
+// Config.FailoverGrace). The eviction timeout is several AGG_UPDATE
+// periods plus margin; the grace covers a leaf-side failover detection
+// plus a JOIN round trip.
+const (
+	DefaultHeadSilenceTimeout = 10 * sim.Second
+	DefaultFailoverGrace      = 5 * sim.Second
+)
+
 // Config parametrizes a sender.
 type Config struct {
 	LocalPort, RemotePort uint16
@@ -98,6 +107,21 @@ type Config struct {
 	// straggler NAK older than this is vanishingly unlikely and merely
 	// earns a harmless NAK_ERR. Zero means 30 seconds.
 	TombstoneTTL sim.Time
+	// HeadSilenceTimeout evicts a repair head that has gone completely
+	// silent — no AGG_UPDATE, escalated NAK, or any other feedback — for
+	// this long. A healthy head speaks at least every AggregatePeriod, so
+	// sustained silence means the head process died without a LEAVE and
+	// its entry would otherwise stall the release path forever. Zero
+	// means 10 seconds; negative disables the sweep.
+	HeadSilenceTimeout sim.Time
+	// FailoverGrace holds buffer release at an evicted head's last
+	// reported subtree minimum for this long after the eviction, giving
+	// the head's orphaned leaves time to detect the death themselves,
+	// re-JOIN directly, and report their true positions — without the
+	// fence the release path would treat the shrunken membership table as
+	// complete and free data the orphans still need. Zero means 5
+	// seconds; negative disables the fence.
+	FailoverGrace sim.Time
 
 	// Stats receives counters; nil allocates a private set.
 	Stats *stats.Sender
@@ -128,6 +152,16 @@ func (c *Config) sanitize() {
 	}
 	if c.TombstoneTTL <= 0 {
 		c.TombstoneTTL = 30 * sim.Second
+	}
+	if c.HeadSilenceTimeout == 0 {
+		c.HeadSilenceTimeout = DefaultHeadSilenceTimeout
+	} else if c.HeadSilenceTimeout < 0 {
+		c.HeadSilenceTimeout = 0
+	}
+	if c.FailoverGrace == 0 {
+		c.FailoverGrace = DefaultFailoverGrace
+	} else if c.FailoverGrace < 0 {
+		c.FailoverGrace = 0
 	}
 	if c.Stats == nil {
 		c.Stats = &stats.Sender{}
@@ -162,10 +196,15 @@ type retransReq struct {
 	notBefore sim.Time
 }
 
-// tombstone is the remembered final state of a departed member.
+// tombstone is the remembered final state of a departed member. head
+// marks a departed (or evicted) repair head: its recorded state was a
+// subtree minimum, not the member's own monotonic frontier, so the
+// stale-NAK guard must not silently swallow NAKs against it — a leaf
+// behind that minimum deserves an authoritative NAK_ERR.
 type tombstone struct {
 	next seqspace.Seq
 	at   sim.Time
+	head bool
 }
 
 // Sender is the H-RMC sender state machine. Not safe for concurrent use;
@@ -214,6 +253,14 @@ type Sender struct {
 	// grow the map without bound.
 	departed      map[packet.NodeID]tombstone
 	lastTombSweep sim.Time
+
+	// Silent-head failover state: lastHeadSweep amortizes the eviction
+	// sweep; headFence/headFenceTill hold release at the lowest evicted
+	// head's last reported subtree minimum until the grace expires (see
+	// Config.FailoverGrace).
+	lastHeadSweep sim.Time
+	headFence     seqspace.Seq
+	headFenceTill sim.Time
 
 	// fenc is the FEC parity encoder (extension), nil when disabled.
 	fenc *fec.Encoder
@@ -415,13 +462,25 @@ func (s *Sender) HandlePacket(now sim.Time, from packet.NodeID, p *packet.Packet
 
 func (s *Sender) onJoin(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.st.JoinsReceived++
-	_, added := s.members.Add(from, now)
+	m, added := s.members.Add(from, now)
+	// An explicit JOIN — even from a known address — marks a (re)start:
+	// the machine behind the address is new, and packets transmitted
+	// before this moment are pre-history for RTT sampling purposes.
+	m.JoinedAt = now
 	s.members.Update(from, seqspace.Seq(p.Seq), now)
 	if added {
 		trace.Emit(s.cfg.Trace, now, trace.MemberJoined, p.Seq, int64(s.members.Len()))
 	}
 	if added && s.members.Len() > s.maxJoined {
 		s.maxJoined = s.members.Len()
+	}
+	// A direct JOIN from a former leaf of an evicted head re-homes one
+	// orphan. The gauge is an approximation — the sender cannot tell a
+	// re-homing orphan from a genuinely new receiver — but it decays to
+	// zero as the orphaned population drains, which is the signal the
+	// operator needs.
+	if added && s.st.OrphanedLeaves > 0 {
+		s.st.OrphanedLeaves--
 	}
 	// The JOIN answers the first data packet the receiver saw; if that
 	// packet (seq one below the receiver's next-expected) is still
@@ -446,7 +505,7 @@ func (s *Sender) onLeave(now sim.Time, from packet.NodeID, p *packet.Packet) {
 		if s.departed == nil {
 			s.departed = make(map[packet.NodeID]tombstone)
 		}
-		s.departed[from] = tombstone{next: m.NextExpected, at: now}
+		s.departed[from] = tombstone{next: m.NextExpected, at: now, head: m.Head}
 	}
 	s.members.Remove(from)
 	trace.Emit(s.cfg.Trace, now, trace.MemberLeft, p.Seq, int64(s.members.Len()))
@@ -469,9 +528,18 @@ func (s *Sender) onNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	// Per the paper, the worst-receiver RTT estimate "continues
 	// updating ... based on incoming NAKs and rate-reduce requests":
 	// the NAKed packet's first (sole) transmission to NAK arrival is a
-	// Karn-unambiguous upper bound on the receiver's round trip.
-	if e := s.wnd.Entry(gap.From); e != nil && e.Tries == 1 {
-		s.est.Sample(now - e.FirstSent)
+	// Karn-unambiguous upper bound on the receiver's round trip. Karn
+	// cuts both ways: the NAK itself must be the receiver's first ask
+	// (Tries == 0) — a re-asked NAK's elapsed time includes the
+	// receiver's retry backoff, which can reach seconds and would
+	// poison the pacing estimate. The packet must also postdate the
+	// requester's JOIN: a restarted head or re-homed leaf NAKs history
+	// transmitted before it existed, and that elapsed time measures the
+	// outage, not the network.
+	if e := s.wnd.Entry(gap.From); e != nil && e.Tries == 1 && p.Tries == 0 {
+		if m := s.members.Lookup(from); m != nil && e.FirstSent >= m.JoinedAt {
+			s.est.Sample(now - e.FirstSent)
+		}
 	}
 	// Clamp the request to the buffered range; anything below the window
 	// base has been released.
@@ -482,20 +550,28 @@ func (s *Sender) onNak(now sim.Time, from packet.NodeID, p *packet.Packet) {
 			// reordered stale report of a loss the receiver has since
 			// recovered from — there is nothing to repair and nothing to
 			// mourn, so it is dropped. Only an uncovered request for
-			// released data earns a NAK_ERR.
+			// released data earns a NAK_ERR. Repair heads (live or
+			// tombstoned) are exempt from the silent drop: their recorded
+			// state is a non-monotonic subtree minimum, so "covered" proves
+			// nothing about the leaf that escalated the NAK, and an
+			// escalation for released data must always draw the explicit
+			// refusal — the head turns it into a HEAD_DECLINE and the leaf
+			// stops waiting. The NAK_ERR echoes the requested length so the
+			// refusal covers the whole range, not just its first packet.
 			if m := s.members.Lookup(from); m != nil {
-				if m.KnownState && seqspace.AtOrAfter(m.NextExpected, gap.To) {
+				if !m.Head && m.KnownState && seqspace.AtOrAfter(m.NextExpected, gap.To) {
 					return
 				}
-			} else if tb, ok := s.departed[from]; ok && seqspace.AtOrAfter(tb.next, gap.To) {
+			} else if tb, ok := s.departed[from]; ok && !tb.head && seqspace.AtOrAfter(tb.next, gap.To) {
 				return
 			}
 			// The request cannot be satisfied.
 			s.st.NakErrsSent++
 			trace.Emit(s.cfg.Trace, now, trace.NakErrSent, p.Seq, 0)
 			s.emit(&packet.Packet{Header: packet.Header{
-				Type: packet.TypeNakErr,
-				Seq:  p.Seq,
+				Type:   packet.TypeNakErr,
+				Seq:    p.Seq,
+				Length: p.Length,
 			}}, Dest{Node: from})
 			return
 		}
@@ -563,13 +639,24 @@ func (s *Sender) onUpdate(now sim.Time, from packet.NodeID, p *packet.Packet) {
 func (s *Sender) onAggUpdate(now sim.Time, from packet.NodeID, p *packet.Packet) {
 	s.st.AggUpdatesReceived++
 	s.sampleProbeRTT(now, from)
-	if _, added := s.members.Add(from, now); added {
+	m, added := s.members.Add(from, now)
+	if added {
 		trace.Emit(s.cfg.Trace, now, trace.MemberJoined, p.Seq, int64(s.members.Len()))
 		if s.members.Len() > s.maxJoined {
 			s.maxJoined = s.members.Len()
 		}
 	}
+	wasHead := m.Head
 	s.members.UpdateAggregate(from, seqspace.Seq(p.Seq), int(p.Length), now)
+	// A head announcing itself (first AGG_UPDATE after a restart, or a
+	// re-JOIN after eviction) reclaims its reported subtree from the
+	// orphan gauge: those leaves are spoken for again.
+	if !wasHead && s.st.OrphanedLeaves > 0 {
+		s.st.OrphanedLeaves -= int64(p.Length)
+		if s.st.OrphanedLeaves < 0 {
+			s.st.OrphanedLeaves = 0
+		}
+	}
 }
 
 // onRepairHeard cancels deferred retransmissions covered by a repair a
@@ -668,7 +755,47 @@ func (s *Sender) Tick(now sim.Time) {
 	s.st.RepairHeads = int64(s.members.Heads())
 	s.st.DownstreamMembers = int64(s.members.Downstream())
 
+	s.sweepSilentHeads(now)
 	s.sweepTombstones(now)
+}
+
+// sweepSilentHeads evicts repair heads that have gone completely silent
+// past the timeout (see Config.HeadSilenceTimeout). Like the tombstone
+// sweep it is amortized: the table is walked at most every quarter
+// timeout, so a dead head is detected within 1.25 timeouts at O(members)
+// cost per sweep, not per tick. Each eviction tombstones the head (so
+// straggler escalations still draw NAK_ERRs, never silence), arms the
+// release fence at its last reported subtree minimum, and charges its
+// reported downstream count to the orphaned-leaves gauge.
+func (s *Sender) sweepSilentHeads(now sim.Time) {
+	if s.cfg.HeadSilenceTimeout <= 0 || s.members.Heads() == 0 {
+		return
+	}
+	if now-s.lastHeadSweep < s.cfg.HeadSilenceTimeout/4 {
+		return
+	}
+	s.lastHeadSweep = now
+	stale := s.members.StaleHeads(now, s.cfg.HeadSilenceTimeout, nil)
+	for _, m := range stale {
+		if m.KnownState {
+			if s.departed == nil {
+				s.departed = make(map[packet.NodeID]tombstone)
+			}
+			s.departed[m.Addr] = tombstone{next: m.NextExpected, at: now, head: true}
+			if s.cfg.FailoverGrace > 0 {
+				if s.headFenceTill == 0 || seqspace.Before(m.NextExpected, s.headFence) {
+					s.headFence = m.NextExpected
+				}
+				if till := now + s.cfg.FailoverGrace; till > s.headFenceTill {
+					s.headFenceTill = till
+				}
+			}
+		}
+		s.st.HeadsEvicted++
+		s.st.OrphanedLeaves += int64(m.Members)
+		trace.Emit(s.cfg.Trace, now, trace.HeadEvicted, uint32(m.NextExpected), int64(m.Members))
+		s.members.Remove(m.Addr)
+	}
 }
 
 // sweepTombstones evicts departed-member tombstones older than the TTL.
@@ -783,6 +910,19 @@ func (s *Sender) tryRelease(now sim.Time) {
 			return
 		}
 		seq := s.wnd.Base()
+		// Failover fence: an evicted head's orphaned leaves are not in the
+		// membership table yet, so AllPast would pass trivially over data
+		// they still need. Hold the release at the evicted head's last
+		// reported subtree minimum until the grace expires or the orphans
+		// re-JOIN (their entries then gate the release the normal way).
+		if s.headFenceTill != 0 && seqspace.AtOrAfter(seq, s.headFence) {
+			if now < s.headFenceTill {
+				s.stalled = true
+				s.st.ReleaseStalls++
+				return
+			}
+			s.headFenceTill = 0
+		}
 		complete := s.members.AllPast(seq)
 		joined := s.cfg.ExpectedReceivers <= 0 || s.maxJoined >= s.cfg.ExpectedReceivers
 		if now-e.LastSent < minHold {

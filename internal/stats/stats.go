@@ -52,6 +52,15 @@ type Sender struct {
 	AggUpdatesReceived int64
 	RepairHeads        int64
 	DownstreamMembers  int64
+
+	// Repair-head failover (extension). HeadsEvicted counts repair heads
+	// evicted for AGG_UPDATE silence; OrphanedLeaves is a gauge of
+	// downstream receivers last reported by since-evicted heads that have
+	// not yet re-homed — it rises by the evicted head's reported member
+	// count and falls as former leaves JOIN directly or a restarted head
+	// re-reports its subtree.
+	HeadsEvicted   int64
+	OrphanedLeaves int64
 }
 
 // ReleaseInfoRatio returns the Figure 3 percentage: the fraction of
@@ -103,4 +112,22 @@ type Receiver struct {
 	HeadNaksEscalated    int64
 	RepairMembersEvicted int64
 	AggUpdatesSent       int64
+
+	// Repair-head failover (extension). HeadFailovers counts the times
+	// this leaf declared its repair head dead and degraded to flat mode;
+	// HeadReadoptions the times it re-attached to a reappeared head.
+	// HeadDeclinesSent counts explicit HEAD_DECLINEs this head multicast
+	// for un-servable ranges; HeadDeclinesHeard counts declines this leaf
+	// received and converted to direct end-to-end recovery.
+	// HeadDrainTimeouts counts departures forced after the deferred-LEAVE
+	// drain bound expired. NakErrsHeard counts authoritative sender
+	// refusals received; UnrecoverableHoles counts sequence numbers the
+	// receiver gave up re-requesting after such a refusal.
+	HeadFailovers      int64
+	HeadReadoptions    int64
+	HeadDeclinesSent   int64
+	HeadDeclinesHeard  int64
+	HeadDrainTimeouts  int64
+	NakErrsHeard       int64
+	UnrecoverableHoles int64
 }

@@ -53,6 +53,13 @@ const (
 	HeadRepairSent
 	HeadNakEscalated
 
+	// Repair-head failover.
+	HeadFailover     // leaf declared its head dead and degraded to flat mode
+	HeadReadopted    // leaf re-adopted a reappeared head
+	HeadDeclineSent  // head declined an un-servable HEAD_NAK range
+	HeadEvicted      // sender evicted a silent head
+	HeadDrainTimeout // departing head gave up waiting for a drained subtree
+
 	numKinds
 )
 
@@ -80,6 +87,11 @@ var kindNames = [...]string{
 	AggUpdateSent:      "agg-update-sent",
 	HeadRepairSent:     "head-repair-sent",
 	HeadNakEscalated:   "head-nak-escalated",
+	HeadFailover:       "head-failover",
+	HeadReadopted:      "head-readopted",
+	HeadDeclineSent:    "head-decline-sent",
+	HeadEvicted:        "head-evicted",
+	HeadDrainTimeout:   "head-drain-timeout",
 }
 
 // String returns the event kind's name.

@@ -339,6 +339,19 @@ func (w *ReceiveWindow) ReleaseAll() {
 	}
 }
 
+// Rebase moves an empty window to start at seq — the late-join path: a
+// receiver attaching to an in-progress stream accepts it from the first
+// position it can anchor to instead of NAKing the whole history. Valid
+// only before any packet has been inserted or announced; a non-empty
+// window is left untouched and Rebase reports false.
+func (w *ReceiveWindow) Rebase(seq seqspace.Seq) bool {
+	if w.highest != w.base || w.announced != w.base || len(w.ready) != 0 || len(w.ooo) != 0 {
+		return false
+	}
+	w.base, w.next, w.highest, w.announced = seq, seq, seq, seq
+	return true
+}
+
 // ExtendHighest records that the sender has transmitted data up to and
 // including seq (learned from a KEEPALIVE or PROBE), so that trailing
 // losses become visible as gaps. The extension is clamped to the window

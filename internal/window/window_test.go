@@ -398,3 +398,33 @@ func TestPropFillAndGapsConsistent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Rebase is the late-join anchor: an untouched window moves to the
+// anchor sequence; any received or announced state refuses the move.
+func TestReceiveWindowRebase(t *testing.T) {
+	w := NewReceiveWindow(8, 0)
+	if !w.Rebase(100) {
+		t.Fatal("empty window refused Rebase")
+	}
+	if w.Base() != 100 || w.Next() != 100 {
+		t.Fatalf("base=%d next=%d after Rebase, want 100,100", w.Base(), w.Next())
+	}
+	// The anchored window accepts the stream from there; below-anchor
+	// history counts as already delivered, not a gap to NAK.
+	if res := w.Insert(dataPktSeq(100, []byte{1})); res != AcceptedInOrder {
+		t.Fatalf("insert at anchor: %v", res)
+	}
+	if res := w.Insert(dataPktSeq(99, []byte{0})); res != Duplicate {
+		t.Fatalf("pre-anchor history: %v, want Duplicate", res)
+	}
+	if w.Rebase(200) {
+		t.Error("non-empty window accepted Rebase")
+	}
+	// Announced-only state (a KEEPALIVE extended the frontier) also
+	// pins the window: rebasing away would erase a visible loss.
+	w2 := NewReceiveWindow(8, 0)
+	w2.ExtendHighest(3)
+	if w2.Rebase(50) {
+		t.Error("window with announced gaps accepted Rebase")
+	}
+}
