@@ -22,6 +22,7 @@ func main() {
 		out    = flag.String("out", "-", "output file (- for stdout)")
 		rcvbuf = flag.Int("rcvbuf", 512<<10, "receive buffer (kernel-buffer analogue) in bytes")
 		iface  = flag.String("iface", "", "interface to join on (default: loopback if present, else system default)")
+		fecK   = flag.Int("fec", 0, "FEC parity group size K (0 disables; must match the sender's -fec)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		dst = f
 	}
 
-	rcv := core.NewReceiver(tr, receiver.Config{RcvBuf: *rcvbuf})
+	rcv := core.NewReceiver(tr, receiver.Config{RcvBuf: *rcvbuf, FECGroupSize: *fecK})
 	fmt.Fprintf(os.Stderr, "hrmc-recv: joined %s, waiting for data\n", *group)
 	start := time.Now()
 	n, err := io.Copy(dst, rcv)

@@ -89,9 +89,9 @@ const exampleConfig = `{
     {"name": "dist-a", "group": "239.66.66.66:9999", "role": "send",
      "file": "/etc/hostname", "receivers": 1, "weight": 2},
     {"name": "dist-b", "group": "239.66.66.67:10999", "role": "send",
-     "size": 1048576, "receivers": 1},
+     "size": 1048576, "receivers": 1, "fec": 8},
     {"name": "mirror-b", "group": "239.66.66.67:10999", "role": "recv",
-     "file": "/tmp/mirror-b.out"}
+     "file": "/tmp/mirror-b.out", "fec": 8}
   ]
 }
 `

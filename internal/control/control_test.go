@@ -174,10 +174,12 @@ func TestControlAdmitTransferObserve(t *testing.T) {
 	var rcv, snd FlowStatus
 	p.do(t, "POST", "/v1/flows", FlowSpec{
 		Name: "mirror", Group: "g1", Role: RoleRecv, LocalPort: 2, PeerPort: 1,
+		Fec: 8,
 	}, http.StatusCreated, &rcv)
 	p.do(t, "POST", "/v1/flows", FlowSpec{
 		Name: "dist", Group: "g1", Role: RoleSend, Size: size, Receivers: 1,
 		LocalPort: 1, PeerPort: 2, MinRateBps: 1e6, MaxRateBps: 64e6,
+		Fec: 8,
 	}, http.StatusCreated, &snd)
 	if rcv.State != StateRunning || snd.State != StateRunning {
 		t.Fatalf("admitted states = %s/%s, want running", rcv.State, snd.State)
@@ -196,6 +198,11 @@ func TestControlAdmitTransferObserve(t *testing.T) {
 	}
 	if rcv.Receiver == nil || rcv.Receiver.BytesDelivered != size {
 		t.Errorf("receiver status counters = %+v, want BytesDelivered=%d", rcv.Receiver, size)
+	}
+	// The spec's fec field must reach the sender machine: parity flows
+	// even on a loss-free transport (1/K overhead, nothing recovered).
+	if snd.Sender != nil && snd.Sender.FecParitySent == 0 {
+		t.Error("FlowSpec.Fec did not enable the parity pipeline (FecParitySent = 0)")
 	}
 
 	var status StatusReply
@@ -222,6 +229,12 @@ func TestControlAdmitTransferObserve(t *testing.T) {
 		"# TYPE hrmc_sender_bytes_sent counter",
 		"hrmc_total_sender_bytes_sent " + fmt.Sprint(size),
 		"hrmc_session_flows 2",
+		// The FEC counters surface by reflection from internal/stats:
+		// parity sent / local recoveries / fallback NAKs / wasted parity.
+		`hrmc_sender_fec_parity_sent{flow="dist"`,
+		`hrmc_receiver_fec_recovered{flow="mirror"`,
+		`hrmc_receiver_fec_fallback_naks{flow="mirror"`,
+		`hrmc_receiver_fec_parity_wasted{flow="mirror"`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics output missing %q\n--- got ---\n%s", want, metrics)

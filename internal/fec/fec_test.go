@@ -26,7 +26,7 @@ func mkGroup(t *testing.T, k int, base seqspace.Seq, sizes []int) ([][]byte, *pa
 			pl[j] = byte(i*31 + j)
 		}
 		payloads[i] = pl
-		parity = enc.Add(base+seqspace.Seq(i), pl)
+		parity = enc.Add(base+seqspace.Seq(i), 0, pl)
 		if i < k-1 && parity != nil {
 			t.Fatal("parity emitted before the group completed")
 		}
@@ -38,12 +38,12 @@ func mkGroup(t *testing.T, k int, base seqspace.Seq, sizes []int) ([][]byte, *pa
 }
 
 func lookupFrom(payloads [][]byte, base seqspace.Seq, missing int) PayloadLookup {
-	return func(seq seqspace.Seq) ([]byte, bool) {
+	return func(seq seqspace.Seq) ([]byte, uint8, bool) {
 		i := int(seqspace.Diff(seq, base))
 		if i < 0 || i >= len(payloads) || i == missing {
-			return nil, false
+			return nil, 0, false
 		}
-		return payloads[i], true
+		return payloads[i], 0, true
 	}
 }
 
@@ -58,18 +58,64 @@ func TestEncoderGroupBoundaries(t *testing.T) {
 	if NewEncoder(1000).GroupSize() != MaxGroup {
 		t.Error("group size not clamped down")
 	}
-	p := enc.Add(10, []byte("aa"))
+	p := enc.Add(10, 0, []byte("aa"))
 	if p != nil {
 		t.Fatal("parity after 1 of 3")
 	}
-	enc.Add(11, []byte("bb"))
-	p = enc.Add(12, []byte("cc"))
+	enc.Add(11, 0, []byte("bb"))
+	p = enc.Add(12, 0, []byte("cc"))
 	if p == nil || p.Seq != 10 || p.Length != 3 || p.Type != packet.TypeFec {
 		t.Fatalf("parity header wrong: %+v", p)
 	}
 	// Next group starts fresh.
-	if enc.Add(13, []byte("dd")) != nil {
+	if enc.Add(13, 0, []byte("dd")) != nil {
 		t.Error("parity leaked into the next group")
+	}
+}
+
+// Regression: a discontinuous first transmission must abandon the open
+// group instead of silently emitting parity over a gapped group. The
+// receiver aligns members as base..base+K-1, so parity accumulated
+// across a sequence jump would rebuild garbage that still passes the
+// XOR residue check.
+func TestEncoderRestartsOnDiscontinuity(t *testing.T) {
+	enc := NewEncoder(3)
+	if enc.Restarts() != 0 {
+		t.Fatal("fresh encoder reports restarts")
+	}
+	enc.Add(0, 0, []byte("aa"))
+	enc.Add(1, 0, []byte("bb"))
+	// Sequence jump mid-group: 5 instead of 2.
+	if p := enc.Add(5, 0, []byte("cc")); p != nil {
+		t.Fatal("parity emitted across a sequence gap")
+	}
+	if enc.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", enc.Restarts())
+	}
+	// Re-feeding the same sequence number (a mis-fed retransmission)
+	// must also restart rather than double-count it.
+	if p := enc.Add(5, 0, []byte("cc")); p != nil {
+		t.Fatal("parity emitted after a duplicate sequence number")
+	}
+	if enc.Restarts() != 2 {
+		t.Fatalf("restarts = %d, want 2", enc.Restarts())
+	}
+	// The restarted group must complete normally and its parity must
+	// actually recover the right bytes.
+	payloads := [][]byte{[]byte("cc"), []byte("dddd"), []byte("e")}
+	enc.Add(6, 0, payloads[1])
+	parity := enc.Add(7, 0, payloads[2])
+	if parity == nil {
+		t.Fatal("no parity after the restarted group completed")
+	}
+	if parity.Seq != 5 || parity.Length != 3 {
+		t.Fatalf("restarted group parity header wrong: %+v", parity.Header)
+	}
+	for missing := 0; missing < 3; missing++ {
+		got, ok := Recover(parity, lookupFrom(payloads, 5, missing))
+		if !ok || !bytes.Equal(got.Payload, payloads[missing]) {
+			t.Fatalf("restarted group failed to recover position %d", missing)
+		}
 	}
 }
 
@@ -94,17 +140,57 @@ func TestRecoverEachPosition(t *testing.T) {
 	}
 }
 
+// Regression: header flags ride inside the XOR-protected block, so a
+// rebuilt packet restores them bit-exactly. The live-datapath hang this
+// guards against: the zero-length FIN packet lost on the wire and
+// rebuilt from parity WITHOUT FlagFIN delivers the whole stream but
+// never signals end-of-stream, wedging the reader forever.
+func TestRecoverRestoresFlags(t *testing.T) {
+	enc := NewEncoder(3)
+	payloads := [][]byte{[]byte("hello"), []byte("world!"), nil}
+	flags := []uint8{0, packet.FlagURG, packet.FlagFIN}
+	var parity *packet.Packet
+	for i, pl := range payloads {
+		parity = enc.Add(seqspace.Seq(100+i), flags[i], pl)
+	}
+	if parity == nil {
+		t.Fatal("no parity after full group")
+	}
+	for missing := 0; missing < 3; missing++ {
+		lookup := func(seq seqspace.Seq) ([]byte, uint8, bool) {
+			i := int(seqspace.Diff(seq, 100))
+			if i < 0 || i >= 3 || i == missing {
+				return nil, 0, false
+			}
+			return payloads[i], flags[i], true
+		}
+		got, ok := Recover(parity, lookup)
+		if !ok {
+			t.Fatalf("recovery failed for position %d", missing)
+		}
+		if got.Flags != flags[missing] {
+			t.Errorf("position %d: rebuilt flags %#x, want %#x", missing, got.Flags, flags[missing])
+		}
+		if missing == 2 && !got.FIN() {
+			t.Error("rebuilt FIN packet lost its FIN flag")
+		}
+		if !bytes.Equal(got.Payload, payloads[missing]) {
+			t.Errorf("position %d: rebuilt payload differs", missing)
+		}
+	}
+}
+
 func TestRecoverRefusesZeroOrTwoMissing(t *testing.T) {
 	payloads, parity := mkGroup(t, 4, 0, nil)
 	if _, ok := Recover(parity, lookupFrom(payloads, 0, -1)); ok {
 		t.Error("recovered with nothing missing")
 	}
-	two := func(seq seqspace.Seq) ([]byte, bool) {
+	two := func(seq seqspace.Seq) ([]byte, uint8, bool) {
 		i := int(seq)
 		if i == 1 || i == 2 {
-			return nil, false
+			return nil, 0, false
 		}
-		return payloads[i], true
+		return payloads[i], 0, true
 	}
 	if _, ok := Recover(parity, two); ok {
 		t.Error("recovered with two missing")
@@ -125,9 +211,9 @@ func TestRecoverRejectsGarbage(t *testing.T) {
 	}
 	// Inconsistent group: member larger than parity coverage.
 	payloads, parity := mkGroup(t, 3, 0, []int{10, 10, 10})
-	big := func(seq seqspace.Seq) ([]byte, bool) {
+	big := func(seq seqspace.Seq) ([]byte, uint8, bool) {
 		if seq == 0 {
-			return make([]byte, 500), true
+			return make([]byte, 500), 0, true
 		}
 		return lookupFrom(payloads, 0, 1)(seq)
 	}
@@ -154,7 +240,7 @@ func TestPropRecoverRoundTrip(t *testing.T) {
 				pl[j] = byte(int(seed) + i*37 + j*11)
 			}
 			payloads[i] = pl
-			parity = enc.Add(seqspace.Seq(i), pl)
+			parity = enc.Add(seqspace.Seq(i), 0, pl)
 		}
 		missing := int(missRaw) % k
 		got, ok := Recover(parity, lookupFrom(payloads, 0, missing))
@@ -171,7 +257,7 @@ func BenchmarkEncoderAdd(b *testing.B) {
 	b.SetBytes(1400)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		enc.Add(seqspace.Seq(i), payload)
+		enc.Add(seqspace.Seq(i), 0, payload)
 	}
 }
 
@@ -181,13 +267,13 @@ func BenchmarkRecover(b *testing.B) {
 	var parity *packet.Packet
 	for i := range payloads {
 		payloads[i] = make([]byte, 1400)
-		parity = enc.Add(seqspace.Seq(i), payloads[i])
+		parity = enc.Add(seqspace.Seq(i), 0, payloads[i])
 	}
-	lookup := func(seq seqspace.Seq) ([]byte, bool) {
+	lookup := func(seq seqspace.Seq) ([]byte, uint8, bool) {
 		if seq == 3 {
-			return nil, false
+			return nil, 0, false
 		}
-		return payloads[int(seq)], true
+		return payloads[int(seq)], 0, true
 	}
 	b.SetBytes(8 * 1400)
 	b.ReportAllocs()

@@ -1,0 +1,156 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+)
+
+// FuzzRecover drives Recover with attacker-shaped parity packets:
+// arbitrary header fields, truncated or oversized payloads, and
+// lookups that disagree with the claimed group. The invariants are
+// strict — Recover must never panic, and it must never claim a rebuild
+// when the lookup shows no member missing (a false positive would
+// inject fabricated bytes into the delivery path).
+func FuzzRecover(f *testing.F) {
+	f.Add(uint8(8), uint32(100), []byte{0, 10, 1, 2, 3}, uint16(100), uint16(3))
+	f.Add(uint8(2), uint32(0), []byte{}, uint16(0), uint16(0))
+	f.Add(uint8(64), uint32(1<<31), []byte{0}, uint16(1400), uint16(63))
+	f.Add(uint8(200), uint32(7), []byte{0xff, 0xff, 0xff}, uint16(2048), uint16(1))
+	f.Fuzz(func(t *testing.T, k uint8, seq uint32, parityPayload []byte, memberLen uint16, missRaw uint16) {
+		parity := &packet.Packet{
+			Header: packet.Header{
+				Type:   packet.TypeFec,
+				Seq:    seq,
+				Length: uint32(k),
+			},
+			Payload: parityPayload,
+		}
+		member := make([]byte, int(memberLen)%2048)
+		for i := range member {
+			member[i] = byte(i*13 + 7)
+		}
+
+		// Every member present: any ok is a false-positive rebuild.
+		full := func(seqspace.Seq) ([]byte, uint8, bool) { return member, 0, true }
+		if _, ok := Recover(parity, full); ok {
+			t.Fatalf("false-positive rebuild with zero missing members (k=%d payload=%d)", k, len(parityPayload))
+		}
+
+		// Exactly one member missing against a parity payload the group
+		// never produced: must not panic, and any claimed rebuild must
+		// at least be internally consistent.
+		base := seqspace.Seq(seq)
+		kEff := int(k)
+		missing := base
+		if kEff > 0 {
+			missing = base + seqspace.Seq(int(missRaw)%kEff)
+		}
+		oneGone := func(s seqspace.Seq) ([]byte, uint8, bool) {
+			if s == missing {
+				return nil, 0, false
+			}
+			return member, 0, true
+		}
+		if got, ok := Recover(parity, oneGone); ok {
+			if got.Type != packet.TypeData || got.Seq != uint32(missing) {
+				t.Fatalf("rebuilt header inconsistent: %+v", got.Header)
+			}
+			if int(got.Length) != len(got.Payload) {
+				t.Fatalf("rebuilt Length %d != payload %d", got.Length, len(got.Payload))
+			}
+		}
+
+		// Truncating a genuine parity packet below the length prefix
+		// must be rejected outright.
+		if _, ok := Recover(&packet.Packet{
+			Header:  parity.Header,
+			Payload: parityPayload[:min(len(parityPayload), lenPrefix-1)],
+		}, oneGone); ok {
+			t.Fatal("rebuilt from a parity payload shorter than the length prefix")
+		}
+	})
+}
+
+// FuzzRecoverCorruptedGenuine builds a real group, then corrupts its
+// parity with fuzz-chosen mutations (header K mismatch, truncation,
+// appended nonzero residue) and checks the defences: no panic, no
+// rebuild from residue-bearing or truncated parity, and an untouched
+// parity still round-trips.
+func FuzzRecoverCorruptedGenuine(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(0), uint8(0))
+	f.Add(uint8(8), uint8(0), uint8(5), uint8(1))
+	f.Add(uint8(5), uint8(4), uint8(200), uint8(2))
+	f.Fuzz(func(t *testing.T, kRaw, missRaw, wrongK, residue uint8) {
+		k := int(kRaw)%7 + 2
+		enc := NewEncoder(k)
+		payloads := make([][]byte, k)
+		var parity *packet.Packet
+		for i := 0; i < k; i++ {
+			pl := make([]byte, i*17%97+1)
+			for j := range pl {
+				pl[j] = byte(i*31 + j*5)
+			}
+			payloads[i] = pl
+			parity = enc.Add(seqspace.Seq(i), 0, pl)
+		}
+		missing := int(missRaw) % k
+		lookup := lookupFromBytes(payloads, 0, missing)
+
+		// Baseline: the genuine parity must round-trip.
+		got, ok := Recover(parity, lookup)
+		if !ok || !bytes.Equal(got.Payload, payloads[missing]) {
+			t.Fatal("genuine parity failed to recover")
+		}
+
+		// Mismatched Length (claimed K != real K): the XOR of a
+		// different member set must not sneak through as a rebuild of
+		// the missing payload's bytes.
+		if int(wrongK) != k {
+			mutant := &packet.Packet{Header: parity.Header, Payload: parity.Payload}
+			mutant.Length = uint32(wrongK)
+			if got, ok := Recover(mutant, lookup); ok && bytes.Equal(got.Payload, payloads[missing]) && got.Seq == uint32(missing) {
+				t.Fatalf("mismatched K=%d produced a rebuild claiming the true payload", wrongK)
+			}
+		}
+
+		// Truncated parity payload: dropping trailing bytes shrinks the
+		// coverage below a member, which must be rejected, not rebuilt.
+		if len(parity.Payload) > lenPrefix {
+			trunc := &packet.Packet{Header: parity.Header, Payload: parity.Payload[:lenPrefix]}
+			if got, ok := Recover(trunc, lookup); ok && len(got.Payload) > 0 {
+				t.Fatal("truncated parity produced a non-empty rebuild")
+			}
+		}
+
+		// Appended nonzero residue: bytes past every member's extent
+		// that do not XOR to zero mark an inconsistent group.
+		if residue != 0 {
+			padded := append(append([]byte(nil), parity.Payload...), residue)
+			if _, ok := Recover(&packet.Packet{Header: parity.Header, Payload: padded}, lookup); ok {
+				t.Fatal("rebuilt despite nonzero parity residue")
+			}
+		}
+	})
+}
+
+// lookupFromBytes mirrors lookupFrom but lives here so the fuzz file
+// stands alone if the table tests move.
+func lookupFromBytes(payloads [][]byte, base seqspace.Seq, missing int) PayloadLookup {
+	return func(seq seqspace.Seq) ([]byte, uint8, bool) {
+		i := int(seqspace.Diff(seq, base))
+		if i < 0 || i >= len(payloads) || i == missing {
+			return nil, 0, false
+		}
+		return payloads[i], 0, true
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

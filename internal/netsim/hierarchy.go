@@ -69,6 +69,11 @@ type HierarchyConfig struct {
 	// repair default. Chaos scenarios shorten it so a partitioned
 	// leaf's frozen frontier stops gating the sender's release.
 	HeadMemberTimeout sim.Time
+
+	// FecK enables proactive parity on every node (heads and leaves):
+	// receivers recover singly-lost groups locally before arming NAK
+	// timers. Must match the sender's Config.FECGroupSize.
+	FecK int
 }
 
 // hNode is one simulated receiver host in the hierarchy.
@@ -175,7 +180,7 @@ func NewHierarchy(cfg HierarchyConfig, scfg sender.Config) *Hierarchy {
 	h.nodes = make([]*hNode, 0, total)
 	for i := 0; i < cfg.Heads; i++ {
 		id := packet.NodeID(i + 1)
-		rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC}
+		rcfg := receiver.Config{LocalAddr: id, RcvBuf: cfg.Buf, Mode: receiver.HRMC, FECGroupSize: cfg.FecK}
 		if !cfg.Flat {
 			rcfg.Head = &repair.Config{MemberTimeout: cfg.HeadMemberTimeout}
 		}
@@ -199,7 +204,7 @@ func NewHierarchy(cfg HierarchyConfig, scfg sender.Config) *Hierarchy {
 // leafConfig builds one leaf's receiver config, applying the model-wide
 // failover knobs.
 func (h *Hierarchy) leafConfig(id packet.NodeID, tree int) receiver.Config {
-	rcfg := receiver.Config{LocalAddr: id, RcvBuf: h.cfg.Buf, Mode: receiver.HRMC}
+	rcfg := receiver.Config{LocalAddr: id, RcvBuf: h.cfg.Buf, Mode: receiver.HRMC, FECGroupSize: h.cfg.FecK}
 	if !h.cfg.Flat {
 		rcfg.RepairHead = packet.NodeID(tree + 1)
 		rcfg.ReadoptHead = h.cfg.ReadoptHead

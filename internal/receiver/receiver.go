@@ -109,9 +109,9 @@ type Config struct {
 	// the shared pool (packet.Put) once the application consumes them —
 	// the zero-copy hold-until-release path. Enable only when every
 	// packet fed to HandlePacket/HandleEnvelope is pool-owned (the
-	// session's batched receive loop guarantees this). It is ignored
-	// when FEC or local recovery is on: their recovery cache aliases
-	// stored payloads past consumption.
+	// session's batched receive loop guarantees this). The FEC/local-
+	// recovery group cache holds its own pool references, so recycling
+	// stays on under FEC.
 	RecyclePackets bool
 
 	// Head makes this receiver a repair head (hierarchical recovery
@@ -212,6 +212,9 @@ const (
 type nakEntry struct {
 	lastSent sim.Time
 	tries    int
+	// detected is when the gap first appeared, for the GapFilled
+	// recovery-latency trace event.
+	detected sim.Time
 	// deferUntil suppresses the first NAK until the given time (FEC
 	// extension: give the parity packet a chance to repair the gap).
 	deferUntil sim.Time
@@ -258,11 +261,18 @@ type Receiver struct {
 
 	advRate uint32 // last rate advertisement heard from the sender
 
-	// fecCache retains payloads of recently received packets so parity
-	// can repair a loss even after earlier group members were consumed
-	// by the application (bounded to a few FEC groups; the kernel
-	// analogue is holding a handful of sk_buffs past delivery).
-	fecCache map[seqspace.Seq][]byte
+	// fecCache retains recently received packets so parity can repair a
+	// loss even after earlier group members were consumed by the
+	// application (bounded to a few FEC groups; the kernel analogue is
+	// holding a handful of sk_buffs past delivery). When fecPooled, the
+	// cache holds its own pool reference per entry (Retain on insert,
+	// Put on prune), which is what lets receive-window recycling stay on
+	// under FEC; otherwise entries are plain aliases and nothing
+	// recycles them.
+	fecCache  map[seqspace.Seq]*packet.Packet
+	fecPooled bool
+	// fdec reuses one XOR scratch buffer across parity recoveries.
+	fdec fec.Decoder
 
 	// Local-recovery state.
 	outMC         kernel.Queue // multicast feedback/repairs
@@ -329,9 +339,10 @@ func New(cfg Config) *Receiver {
 		r.updateTimer.Arm(sim.Time(cfg.InitialUpdatePeriod))
 	}
 	if cfg.FECGroupSize > 0 || cfg.LocalRecovery {
-		r.fecCache = make(map[seqspace.Seq][]byte)
+		r.fecCache = make(map[seqspace.Seq]*packet.Packet)
+		r.fecPooled = cfg.RecyclePackets
 	}
-	if cfg.RecyclePackets && r.fecCache == nil {
+	if cfg.RecyclePackets {
 		r.wnd.SetRecycle(true)
 	}
 	if cfg.Head != nil {
@@ -342,7 +353,7 @@ func New(cfg Config) *Receiver {
 		if hc.WindowPackets < 2*int(wndPackets) {
 			hc.WindowPackets = 2 * int(wndPackets)
 		}
-		r.head = repair.NewHead(0, hc, cfg.RecyclePackets && r.fecCache == nil, r.st)
+		r.head = repair.NewHead(0, hc, cfg.RecyclePackets, r.st)
 	}
 	if cfg.LocalRecovery {
 		seed := cfg.RecoverySeed
@@ -931,7 +942,14 @@ func (r *Receiver) onData(now sim.Time, p *packet.Packet) bool {
 		r.head.Retain(p)
 	}
 	if r.fecCache != nil {
-		r.fecCache[seqspace.Seq(p.Seq)] = p.Payload
+		seq := seqspace.Seq(p.Seq)
+		if old, ok := r.fecCache[seq]; ok && r.fecPooled {
+			packet.Put(old)
+		}
+		if r.fecPooled {
+			packet.Retain(p)
+		}
+		r.fecCache[seq] = p
 		r.pruneFecCache()
 	}
 	r.syncNakList(now)
@@ -959,9 +977,18 @@ func (r *Receiver) syncNakList(now sim.Time) {
 			}
 			present[s] = true
 			if _, ok := r.pending[s]; !ok {
-				e := &nakEntry{}
+				e := &nakEntry{detected: now}
 				if r.cfg.FECGroupSize > 0 {
-					e.deferUntil = now + 2*r.cfg.NakRetryInterval
+					// Give parity a chance before the first NAK. One
+					// retry interval bounds the parity's trailing
+					// distance comfortably: the sender emits it with the
+					// group's last packet or, across a pipeline pause,
+					// via the idle flush within a jiffy or two — any
+					// longer wait just adds dead time to the fallback
+					// path when the parity itself was lost. An arriving
+					// parity that cannot repair the gap expires the
+					// defer early (see onFec).
+					e.deferUntil = now + r.cfg.NakRetryInterval
 				}
 				r.pending[s] = e
 				if !newGap {
@@ -971,8 +998,13 @@ func (r *Receiver) syncNakList(now sim.Time) {
 			}
 		}
 	}
-	for s := range r.pending {
+	for s, e := range r.pending {
 		if !present[s] {
+			// The gap is gone — filled by retransmission, parity
+			// recovery, or a rebase past it. Aux carries the time it
+			// stayed open, the recovery-latency a NAK round trip or a
+			// parity arrival cost us.
+			trace.Emit(r.cfg.Trace, now, trace.GapFilled, uint32(s), int64(now-e.detected))
 			delete(r.pending, s)
 		}
 	}
@@ -1034,6 +1066,12 @@ func (r *Receiver) sendDueNaks(now sim.Time) {
 				r.st.NakRetries++
 			} else {
 				r.st.NaksSent++
+				if e.deferUntil != 0 {
+					// The FEC defer window expired with the gap still
+					// open: parity did not repair it, so this NAK is the
+					// selective fallback to retransmission.
+					r.st.FecFallbackNaks++
+				}
 			}
 			e.lastSent = now
 			e.tries++
@@ -1163,27 +1201,46 @@ func (r *Receiver) maybeRateRequest(now sim.Time) {
 }
 
 // pruneFecCache bounds the recovery cache to a few FEC groups behind
-// the reassembly frontier.
+// the reassembly frontier, dropping the cache's pool reference with
+// each evicted entry.
 func (r *Receiver) pruneFecCache() {
 	limit := 4 * r.cfg.FECGroupSize
 	if len(r.fecCache) <= 2*limit {
 		return
 	}
-	for seq := range r.fecCache {
+	for seq, p := range r.fecCache {
 		if int(seqspace.Diff(r.wnd.Next(), seq)) > limit {
+			if r.fecPooled {
+				packet.Put(p)
+			}
 			delete(r.fecCache, seq)
 		}
 	}
 }
 
-// fecLookup resolves payloads for parity recovery from the window first,
-// then the recovery cache.
-func (r *Receiver) fecLookup(seq seqspace.Seq) ([]byte, bool) {
-	if pl, ok := r.wnd.PayloadAt(seq); ok {
-		return pl, true
+// releaseFecCache drops every cached group member, returning the
+// cache's pool references. Called at end of stream and on teardown;
+// the map stays usable (straggler data after FIN may repopulate it, so
+// teardown drains again).
+func (r *Receiver) releaseFecCache() {
+	for seq, p := range r.fecCache {
+		if r.fecPooled {
+			packet.Put(p)
+		}
+		delete(r.fecCache, seq)
 	}
-	pl, ok := r.fecCache[seq]
-	return pl, ok
+}
+
+// fecLookup resolves payloads (and header flags, which parity also
+// covers) for recovery from the window first, then the recovery cache.
+func (r *Receiver) fecLookup(seq seqspace.Seq) ([]byte, uint8, bool) {
+	if p, ok := r.wnd.PacketAt(seq); ok {
+		return p.Payload, p.Flags, true
+	}
+	if p, ok := r.fecCache[seq]; ok {
+		return p.Payload, p.Flags, true
+	}
+	return nil, 0, false
 }
 
 // onPeerNak processes another receiver's multicast NAK (local-recovery
@@ -1209,7 +1266,7 @@ func (r *Receiver) onPeerNak(now sim.Time, p *packet.Packet) {
 		if _, scheduled := r.repairPending[seq]; scheduled {
 			continue
 		}
-		if _, have := r.fecLookup(seq); have {
+		if _, _, have := r.fecLookup(seq); have {
 			delay := kernel.Jiffy + sim.Time(r.rng.Intn(int(2*kernel.Jiffy)))
 			r.repairPending[seq] = now + delay
 		}
@@ -1244,7 +1301,7 @@ func (r *Receiver) fireRepairs(now sim.Time) {
 			continue
 		}
 		delete(r.repairPending, seq)
-		payload, ok := r.fecLookup(seq)
+		payload, flags, ok := r.fecLookup(seq)
 		if !ok {
 			continue
 		}
@@ -1258,6 +1315,11 @@ func (r *Receiver) fireRepairs(now sim.Time) {
 				Length:  uint32(len(pl)),
 				RateAdv: r.advRate,
 				Tries:   1, // a repair is by definition a retransmission
+				// The FIN flag must survive a peer repair just as it
+				// survives a head repair: without it the repaired
+				// receiver delivers every byte but never sees
+				// end-of-stream.
+				Flags: flags & packet.FlagFIN,
 			},
 			Payload: pl,
 		}
@@ -1274,19 +1336,50 @@ func (r *Receiver) fireRepairs(now sim.Time) {
 // NAK round trip.
 func (r *Receiver) onFec(now sim.Time, p *packet.Packet) {
 	r.st.FecParityHeard++
-	rebuilt, ok := fec.Recover(p, r.fecLookup)
+	rebuilt, ok := r.fdec.Recover(p, r.fecLookup)
 	if !ok {
+		// Nothing to rebuild: the group is complete (the common case —
+		// parity spent on a loss that never happened), more than one
+		// member is gone, or the parity is unusable.
+		r.st.FecParityWasted++
+		// A failed reconstruction is still information: the group's
+		// parity has arrived and could not repair its gaps, so local
+		// repair is off the table for every deferred entry it covers.
+		// Expire their defers now — keeping them waiting only adds the
+		// full defer window to the retransmission round trip. The
+		// stamp stays nonzero so the fallback counter still sees them.
+		if p.Type == packet.TypeFec && len(r.pending) > 0 {
+			base := seqspace.Seq(p.Seq)
+			expedited := false
+			for i := 0; i < int(p.Length) && i < fec.MaxGroup; i++ {
+				if e, ok := r.pending[base+seqspace.Seq(i)]; ok && e.deferUntil > now {
+					e.deferUntil = now
+					expedited = true
+				}
+			}
+			if expedited {
+				r.sendDueNaks(now)
+				r.armNakTimer(now)
+			}
+		}
 		return
 	}
 	// Only rebuild data that is actually missing and fits the window.
 	seq := seqspace.Seq(rebuilt.Seq)
 	if seqspace.Before(seq, r.wnd.Next()) {
+		r.st.FecParityWasted++
+		packet.Put(rebuilt)
 		return
 	}
 	r.st.FecRecovered++
 	trace.Emit(r.cfg.Trace, now, trace.FecRecovered, rebuilt.Seq, int64(len(rebuilt.Payload)))
 	rebuilt.RateAdv = r.advRate
-	r.onData(now, rebuilt)
+	if !r.onData(now, rebuilt) {
+		// The window refused it (raced a retransmission into Duplicate,
+		// or out of window): drop our pool reference, exactly as the
+		// session drops unretained receive packets.
+		packet.Put(rebuilt)
+	}
 	// Local repair must not look like loss feedback: the rebuilt packet
 	// filled its own gap, so the counters above tell the story.
 }
@@ -1572,6 +1665,9 @@ func (r *Receiver) Read(now sim.Time, buf []byte) (int, error) {
 		r.finDelivered = true
 		trace.Emit(r.cfg.Trace, now, trace.StreamComplete, uint32(r.wnd.Next()), r.st.BytesDelivered)
 		r.updateTimer.Disarm()
+		// The stream is complete: no gap can need parity repair any
+		// more, so the recovery cache's pool references go back.
+		r.releaseFecCache()
 		if r.head != nil {
 			// A head reports the subtree state and defers its LEAVE
 			// until every member is past the stream end — it must keep
@@ -1607,6 +1703,7 @@ func (r *Receiver) Buffered() int { return r.wnd.Buffered() }
 // machine must not be used afterwards.
 func (r *Receiver) ReleaseBuffers() {
 	r.wnd.ReleaseAll()
+	r.releaseFecCache()
 	if r.head != nil {
 		r.head.ReleaseAll()
 	}

@@ -263,7 +263,12 @@ type Sender struct {
 	headFenceTill sim.Time
 
 	// fenc is the FEC parity encoder (extension), nil when disabled.
-	fenc *fec.Encoder
+	// fecLastAdd is the last time a first transmission fed it; when the
+	// pipeline then sits idle with a group half-open, Tick flushes the
+	// partial group's parity so the sent prefix doesn't remain
+	// unprotected across a stall (see Encoder.Flush).
+	fenc       *fec.Encoder
+	fecLastAdd sim.Time
 }
 
 // New creates a sender.
@@ -734,6 +739,20 @@ func (s *Sender) Tick(now sim.Time) {
 		sentAny = true
 	}
 
+	// FEC idle flush: a parity group left half-open across a pipeline
+	// pause (window stall, rate gate, stream tail) would leave its sent
+	// prefix unprotected past the receivers' NAK-defer window; close it
+	// early with a short-group parity instead. One jiffy of silence is
+	// the signal — at line rate groups complete well inside a jiffy, so
+	// this only fires when transmission genuinely paused.
+	if s.fenc != nil && s.fenc.Pending() > 0 && now-s.fecLastAdd >= kernel.Jiffy {
+		if parity := s.fenc.Flush(); parity != nil {
+			s.st.FecParitySent++
+			trace.Emit(s.cfg.Trace, now, trace.FecParitySent, parity.Seq, int64(parity.Length))
+			s.emit(parity, Dest{Multicast: true})
+		}
+	}
+
 	// Window release (buffer space reclamation).
 	s.tryRelease(now)
 
@@ -881,11 +900,13 @@ func (s *Sender) transmit(now sim.Time, seq seqspace.Seq, e *window.SendEntry, i
 		// FEC extension: parity covers first transmissions only and is
 		// itself best-effort (never retransmitted, not counted against
 		// the rate allowance — a bounded 1/K overhead).
-		if parity := s.fenc.Add(seq, e.Pkt.Payload); parity != nil {
+		if parity := s.fenc.Add(seq, e.Pkt.Flags, e.Pkt.Payload); parity != nil {
 			s.st.FecParitySent++
 			trace.Emit(s.cfg.Trace, now, trace.FecParitySent, parity.Seq, int64(parity.Length))
 			s.emit(parity, Dest{Multicast: true})
 		}
+		s.fecLastAdd = now
+		s.st.FecGroupRestarts = s.fenc.Restarts()
 	}
 }
 

@@ -47,6 +47,38 @@ func WithWeight(w float64) FlowOption {
 	}
 }
 
+// DefaultFecGroupSize is the parity group size K used when FEC is
+// enabled without an explicit K.
+const DefaultFecGroupSize = 8
+
+// FecConfig enables per-flow forward error correction: the sender
+// multicasts one best-effort XOR parity packet per K data packets, and
+// the receiver repairs single losses locally before falling back to a
+// NAK. Both ends of a flow must agree on it.
+type FecConfig struct {
+	// Enabled turns the parity pipeline on.
+	Enabled bool
+	// K is the parity group size; 0 means DefaultFecGroupSize. Clamped
+	// to [2, fec.MaxGroup] by the machines.
+	K int
+}
+
+// groupSize resolves the effective group size of an enabled config.
+func (c FecConfig) groupSize() int {
+	if c.K <= 0 {
+		return DefaultFecGroupSize
+	}
+	return c.K
+}
+
+// WithFec sets the flow's forward-error-correction parameters. On a
+// sender it drives the parity pipeline; on a receiver it arms local
+// parity recovery and defers first NAKs long enough for parity to win
+// the race.
+func WithFec(fc FecConfig) FlowOption {
+	return func(f *flow) { f.fec = fc }
+}
+
 // anyFlow is what the session loops drive: either a *SenderFlow or a
 // *ReceiverFlow.
 type anyFlow interface {
@@ -77,6 +109,7 @@ type flow struct {
 	label  string
 	port   uint16
 	weight float64
+	fec    FecConfig
 
 	mu   sync.Mutex
 	cond *sync.Cond

@@ -537,9 +537,13 @@ func (s *Session) detach(f anyFlow) {
 // packets arrive on it, so receivers of the group must use it as their
 // RemotePort.
 func (s *Session) OpenSender(tr transport.Transport, cfg sender.Config, opts ...FlowOption) (*SenderFlow, error) {
-	f := &SenderFlow{m: sender.New(cfg)}
-	f.capCeiling = f.m.MaxRate()
+	f := &SenderFlow{}
 	f.init(s, KindSender, tr, cfg.LocalPort, opts)
+	if f.fec.Enabled {
+		cfg.FECGroupSize = f.fec.groupSize()
+	}
+	f.m = sender.New(cfg)
+	f.capCeiling = f.m.MaxRate()
 	if err := s.attach(f); err != nil {
 		return nil, err
 	}
@@ -555,12 +559,16 @@ func (s *Session) OpenReceiver(tr transport.Transport, cfg receiver.Config, opts
 		cfg.LocalAddr = tr.Local()
 	}
 	// The batched receive loop feeds the machine pool-owned packets
-	// exclusively, so retained data can recycle on in-order release
-	// (receiver.New still keeps recycling off under FEC/local recovery,
-	// whose caches alias stored payloads).
+	// exclusively, so retained data can recycle on in-order release —
+	// including under FEC/local recovery, whose group cache keeps its
+	// own pool reference per cached packet.
 	cfg.RecyclePackets = true
-	f := &ReceiverFlow{m: receiver.New(cfg)}
+	f := &ReceiverFlow{}
 	f.init(s, KindReceiver, tr, cfg.LocalPort, opts)
+	if f.fec.Enabled {
+		cfg.FECGroupSize = f.fec.groupSize()
+	}
+	f.m = receiver.New(cfg)
 	if err := s.attach(f); err != nil {
 		return nil, err
 	}

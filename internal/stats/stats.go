@@ -22,6 +22,7 @@ type Sender struct {
 	ProbesSent          int64 // unicast PROBE packets
 	MulticastProbesSent int64 // multicast PROBE packets (extension)
 	FecParitySent       int64 // FEC parity packets (extension)
+	FecGroupRestarts    int64 // parity groups abandoned on a discontinuous transmit (extension)
 	RepairsHeard        int64 // peer repairs observed (local recovery)
 	RetransCancelled    int64 // retransmissions cancelled by peer repairs
 	KeepalivesSent      int64
@@ -90,6 +91,8 @@ type Receiver struct {
 	KeepalivesHeard int64
 	FecParityHeard  int64 // FEC parity packets received (extension)
 	FecRecovered    int64 // data packets rebuilt from parity (extension)
+	FecParityWasted int64 // parity packets that repaired nothing (extension)
+	FecFallbackNaks int64 // gaps NAKed after the FEC defer expired unrepaired (extension)
 	PeerNaksHeard   int64 // multicast NAKs from other receivers (local recovery)
 	RepairsSent     int64 // multicast repairs served to peers (local recovery)
 	// MaxFillPermille tracks the highest receive-window fill observed,

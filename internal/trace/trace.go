@@ -47,6 +47,10 @@ const (
 	// Extensions.
 	FecParitySent
 	FecRecovered
+	// GapFilled marks a pending gap closing (retransmission, parity
+	// recovery, or rebase); aux is how long the gap stayed open — the
+	// per-loss recovery latency.
+	GapFilled
 
 	// Hierarchical repair tier.
 	AggUpdateSent
@@ -84,6 +88,7 @@ var kindNames = [...]string{
 	StreamComplete:     "stream-complete",
 	FecParitySent:      "fec-parity-sent",
 	FecRecovered:       "fec-recovered",
+	GapFilled:          "gap-filled",
 	AggUpdateSent:      "agg-update-sent",
 	HeadRepairSent:     "head-repair-sent",
 	HeadNakEscalated:   "head-nak-escalated",

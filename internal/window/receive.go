@@ -100,8 +100,9 @@ type ReceiveWindow struct {
 	// recycle makes the window the owner of inserted packets: each one
 	// is returned to the packet pool (packet.Put) when the application
 	// fully consumes it — the hold-until-release edge of the zero-copy
-	// datapath. It must stay off when anything aliases stored payloads
-	// past consumption (the receiver's FEC cache does, via PayloadAt).
+	// datapath. Anything holding payloads past consumption must keep
+	// its own pool reference (the receiver's FEC cache retains each
+	// cached packet for exactly this reason).
 	recycle bool
 }
 
@@ -301,18 +302,28 @@ func (w *ReceiveWindow) OOOCount() int { return len(w.ooo) }
 // Consumed (below Base) and absent sequence numbers report false. Used
 // by the FEC and local-recovery extensions.
 func (w *ReceiveWindow) PayloadAt(seq seqspace.Seq) ([]byte, bool) {
+	if p, ok := w.PacketAt(seq); ok {
+		return p.Payload, true
+	}
+	return nil, false
+}
+
+// PacketAt returns the stored packet for seq (both queues), for callers
+// that need header fields — FEC parity covers the flags byte alongside
+// the payload.
+func (w *ReceiveWindow) PacketAt(seq seqspace.Seq) (*packet.Packet, bool) {
 	if seqspace.Before(seq, w.base) {
 		return nil, false
 	}
 	if seqspace.Before(seq, w.next) {
 		idx := w.readyHead + int(seqspace.Diff(seq, w.base))
 		if idx >= w.readyHead && idx < len(w.ready) {
-			return w.ready[idx].Payload, true
+			return w.ready[idx], true
 		}
 		return nil, false
 	}
 	if p, ok := w.ooo[seq]; ok {
-		return p.Payload, true
+		return p, true
 	}
 	return nil, false
 }
