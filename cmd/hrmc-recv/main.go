@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/receiver"
+	"repro/internal/session"
 	"repro/internal/udpmcast"
 )
 
@@ -55,7 +55,13 @@ func main() {
 		dst = f
 	}
 
-	rcv := core.NewReceiver(tr, receiver.Config{RcvBuf: *rcvbuf, FECGroupSize: *fecK})
+	// All flow knobs funnel through the canonical session.FlowSpec, the
+	// same translation the daemon's control plane admits flows with.
+	spec := session.FlowSpec{Kind: session.KindReceiver, Buf: *rcvbuf}
+	if *fecK > 0 {
+		spec.Fec = session.FecConfig{Enabled: true, K: *fecK}
+	}
+	rcv := core.NewReceiver(tr, spec.ReceiverConfig())
 	fmt.Fprintf(os.Stderr, "hrmc-recv: joined %s, waiting for data\n", *group)
 	start := time.Now()
 	n, err := io.Copy(dst, rcv)

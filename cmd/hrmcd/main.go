@@ -72,10 +72,22 @@ type Config struct {
 	// /metrics cardinality on long-lived daemons; 0 keeps them until an
 	// explicit forget. The -retention flag overrides it.
 	RetentionSec int `json:"retention_sec,omitempty"`
-	// Groups lists the flows admitted at startup. Each distinct group
-	// needs its own UDP port: Linux delivers multicast for same-port
-	// sockets in one SO_REUSEPORT group to a single hash-chosen
-	// socket, which strands the other groups.
+	// Shards, when positive, switches the daemon to the shared-socket
+	// group transport: that many socket pairs (and receive-poller pairs)
+	// host every admitted group, chosen per group by hash, so serving
+	// 1,000 groups costs O(shards) fds and goroutines instead of
+	// O(groups). Requires DataPort; 0 keeps the classic
+	// one-socket-per-flow dialer.
+	Shards int `json:"shards,omitempty"`
+	// DataPort is the UDP data port shared by every group in sharded
+	// mode. Group addresses must be bare IPs or ip:DataPort.
+	DataPort int `json:"data_port,omitempty"`
+	// Groups lists the flows admitted at startup. In classic
+	// (non-sharded) mode each distinct group needs its own UDP port:
+	// Linux delivers multicast for same-port sockets in one SO_REUSEPORT
+	// group to a single hash-chosen socket, which strands the other
+	// groups. In sharded mode all groups share DataPort and are told
+	// apart by group address.
 	Groups []control.FlowSpec `json:"groups"`
 }
 
@@ -157,38 +169,93 @@ func loadConfig(path string) (*Config, error) {
 	return cfg, nil
 }
 
-// mcastDialer creates one UDP-multicast socket per admitted flow.
+// mcastDialer creates one UDP-multicast socket per admitted flow — the
+// classic mode, for daemons serving a handful of groups.
 type mcastDialer struct {
 	loopback bool
 }
 
-func (d mcastDialer) Dial(spec control.FlowSpec) (transport.Transport, error) {
+func (d mcastDialer) Dial(spec control.FlowSpec) (control.Link, error) {
 	if spec.Role == control.RoleSend {
 		var opts []udpmcast.SenderOption
 		if d.loopback {
 			opts = append(opts, udpmcast.WithEgressIP(net.IPv4(127, 0, 0, 1)))
 		}
-		return udpmcast.NewSenderTransport(spec.Group, opts...)
+		tr, err := udpmcast.NewSenderTransport(spec.Group, opts...)
+		if err != nil {
+			return control.Link{}, err
+		}
+		return control.Link{Transport: tr}, nil
 	}
 	var ifi *net.Interface
 	if d.loopback {
 		lo, err := net.InterfaceByName("lo")
 		if err != nil {
-			return nil, fmt.Errorf("loopback configured but no lo interface: %w", err)
+			return control.Link{}, fmt.Errorf("loopback configured but no lo interface: %w", err)
 		}
 		ifi = lo
 	}
-	return udpmcast.NewReceiverTransport(spec.Group, ifi)
+	tr, err := udpmcast.NewReceiverTransport(spec.Group, ifi)
+	if err != nil {
+		return control.Link{}, err
+	}
+	return control.Link{Transport: tr}, nil
+}
+
+// newDialer builds the flow dialer the config asks for: sharded mode
+// opens cfg.Shards shared group transports on cfg.DataPort up front
+// and admits every flow onto them; classic mode dials one socket per
+// flow. The returned closer tears the shard sockets down (idempotent —
+// the session also closes transports it hosted flows on).
+func newDialer(cfg *Config) (control.Dialer, func(), error) {
+	if cfg.Shards <= 0 {
+		return mcastDialer{loopback: cfg.Loopback}, func() {}, nil
+	}
+	if cfg.DataPort <= 0 {
+		return nil, nil, fmt.Errorf("sharded mode (shards=%d) requires data_port", cfg.Shards)
+	}
+	shards := make([]transport.GroupTransport, 0, cfg.Shards)
+	closeAll := func() {
+		for _, s := range shards {
+			s.(*udpmcast.GroupTransport).Close()
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		gt, err := udpmcast.NewGroupTransport(udpmcast.GroupConfig{
+			Port:     cfg.DataPort,
+			Loopback: cfg.Loopback,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("shard %d/%d: %w", i, cfg.Shards, err)
+		}
+		shards = append(shards, gt)
+	}
+	d, err := control.NewShardedDialer(shards)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return d, closeAll, nil
 }
 
 func run(cfg *Config) error {
+	dialer, closeShards, err := newDialer(cfg)
+	if err != nil {
+		return err
+	}
+	defer closeShards()
+	if cfg.Shards > 0 {
+		fmt.Printf("hrmcd: sharded transport: %d shard socket pairs on data port %d\n",
+			cfg.Shards, cfg.DataPort)
+	}
 	sess := session.New(session.Config{
 		TickInterval: time.Duration(cfg.TickMS) * time.Millisecond,
 		Budget:       cfg.BudgetMbps * 1e6 / 8,
 	})
 	mgr := control.NewManager(control.ManagerConfig{
 		Session:   sess,
-		Dialer:    mcastDialer{loopback: cfg.Loopback},
+		Dialer:    dialer,
 		Retention: time.Duration(cfg.RetentionSec) * time.Second,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("hrmcd: "+format+"\n", args...)

@@ -1,0 +1,107 @@
+// Manygroups: the thousand-group daemon shape in one process — 200
+// multicast groups, each a sender and a receiver, admitted through the
+// control plane onto a ShardedDialer with FOUR shared group transports.
+// Every group hashes to a shard; receivers Join, senders Register, and
+// arrivals demux by the destination group address the shard tags each
+// envelope with. Serving all 200 groups costs O(shards) transports —
+// and, over real UDP, O(shards) sockets and receive pollers — not
+// O(groups); the run prints the per-shard membership to show the hash
+// spreading groups across the pool. (Each active transfer still holds
+// one control-plane stream-pump goroutine; it is the kernel-facing
+// side that sharding keeps constant.)
+//
+// The same topology over real UDP is one hrmcd config away: "shards"
+// picks the socket-pair count, "data_port" the UDP port every group
+// shares (one socket joins many groups; IP_PKTINFO demuxes):
+//
+//	{
+//	  "shards": 4,
+//	  "data_port": 9999,
+//	  "loopback": true,
+//	  "groups": [
+//	    {"name": "dist-0",   "group": "239.66.1.1", "role": "send",
+//	     "size": 65536, "receivers": 1},
+//	    {"name": "mirror-0", "group": "239.66.1.1", "role": "recv"},
+//	    {"name": "dist-1",   "group": "239.66.1.2", "role": "send",
+//	     "size": 65536, "receivers": 1},
+//	    {"name": "mirror-1", "group": "239.66.1.2", "role": "recv"}
+//	  ]
+//	}
+//
+// (Past ~20 groups per shard, raise net.ipv4.igmp_max_memberships.)
+//
+//	go run ./examples/manygroups
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/control"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+const (
+	groups   = 200
+	shards   = 4
+	sizeEach = 24 << 10
+)
+
+func main() {
+	hub := transport.NewHub()
+	sess := session.New(session.Config{})
+	defer sess.Close()
+
+	// The shard pool: every admitted flow lands on one of these four
+	// shared transports, picked by hashing its group address.
+	pool := make([]transport.GroupTransport, shards)
+	for i := range pool {
+		pool[i] = hub.Endpoint().(transport.GroupTransport)
+	}
+	dialer, err := control.NewShardedDialer(pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := control.NewManager(control.ManagerConfig{
+		Session: sess,
+		Dialer:  dialer,
+	})
+
+	specs := make([]control.FlowSpec, 0, 2*groups)
+	for g := 0; g < groups; g++ {
+		addr := fmt.Sprintf("239.66.%d.%d", 1+g/254, 1+g%254)
+		specs = append(specs,
+			control.FlowSpec{
+				Name: fmt.Sprintf("mirror-%d", g), Group: addr,
+				Role: control.RoleRecv,
+			},
+			control.FlowSpec{
+				Name: fmt.Sprintf("dist-%d", g), Group: addr,
+				Role: control.RoleSend, Size: sizeEach, Receivers: 1,
+			},
+		)
+	}
+	control.AssignPorts(specs)
+	for _, spec := range specs {
+		if _, err := mgr.Admit(spec); err != nil {
+			log.Fatalf("admit %s: %v", spec.Name, err)
+		}
+	}
+	mgr.Wait()
+	done := 0
+	for _, fs := range mgr.List() {
+		if fs.State == control.StateDone {
+			done++
+		}
+	}
+	fmt.Printf("%d/%d flows done (%d groups x %d KiB)\n",
+		done, 2*groups, groups, sizeEach>>10)
+	// The hub meters membership only; the udpmcast shards additionally
+	// count per-shard packets, truncations, and send errors here.
+	for i, st := range dialer.ShardStats() {
+		fmt.Printf("shard %d: groups joined=%d\n", i, st.Joined)
+	}
+	fmt.Printf("%d flows multiplexed over %d shared transports (%d UDP sockets in hrmcd's sharded mode)\n",
+		2*groups, shards, 2*shards)
+}

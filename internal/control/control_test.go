@@ -101,8 +101,8 @@ func newTestPlane(t *testing.T, hubOpts []transport.HubOption, sessCfg session.C
 	p.sess = session.New(sessCfg)
 	p.mgr = NewManager(ManagerConfig{
 		Session: p.sess,
-		Dialer: DialerFunc(func(FlowSpec) (transport.Transport, error) {
-			return p.hub.Endpoint(), nil
+		Dialer: DialerFunc(func(FlowSpec) (Link, error) {
+			return Link{Transport: p.hub.Endpoint()}, nil
 		}),
 		OpenSource: seededSource(nameSeed),
 		OpenSink:   p.sinks.open,
@@ -447,8 +447,8 @@ func TestControlRetentionEvictsTerminalFlows(t *testing.T) {
 	sinks := newMemSinks()
 	mgr := NewManager(ManagerConfig{
 		Session: sess,
-		Dialer: DialerFunc(func(FlowSpec) (transport.Transport, error) {
-			return hub.Endpoint(), nil
+		Dialer: DialerFunc(func(FlowSpec) (Link, error) {
+			return Link{Transport: hub.Endpoint()}, nil
 		}),
 		OpenSource: seededSource(nameSeed),
 		OpenSink:   sinks.open,

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/packet"
+	"repro/internal/transport"
 )
 
 // gaugeFields are stats fields exposed as gauges; everything else is a
@@ -101,6 +102,29 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	add("hrmc_packet_pool_puts", float64(pool.Puts), true, "")
 	add("hrmc_packet_pool_news", float64(pool.News), true, "")
 	add("hrmc_packet_pool_outstanding", float64(pool.Gets-pool.Puts), true, "")
+
+	// Process-wide transport datapath health: datagrams dropped for
+	// outgrowing the batch receive buffer (previously a silent drop) and
+	// per-destination send failures (previously masked by first-error-
+	// only returns from the batch writers).
+	io := transport.IOStats()
+	add("hrmc_transport_truncated_datagrams_total", float64(io.TruncatedDatagrams), false, "")
+	add("hrmc_transport_send_errors_total", float64(io.SendErrors), false, "")
+
+	// Per-shard counters when flows are admitted through a ShardedDialer:
+	// membership and traffic per shared group transport.
+	if sd, ok := s.mgr.Dialer().(interface{ ShardStats() []transport.GroupStats }); ok {
+		for i, st := range sd.ShardStats() {
+			labels := fmt.Sprintf(`shard="%d"`, i)
+			add("hrmc_shard_groups_joined", float64(st.Joined), true, labels)
+			add("hrmc_shard_groups_registered", float64(st.Registered), true, labels)
+			add("hrmc_shard_packets_in", float64(st.PktsIn), false, labels)
+			add("hrmc_shard_packets_out", float64(st.PktsOut), false, labels)
+			add("hrmc_shard_inbox_drops", float64(st.InboxDrops), false, labels)
+			add("hrmc_shard_truncated_drops", float64(st.TruncatedDrops), false, labels)
+			add("hrmc_shard_send_errors", float64(st.SendErrors), false, labels)
+		}
+	}
 
 	agg := s.mgr.Aggregate()
 	add("hrmc_total_sender_flows", float64(agg.SenderFlows), true, "")

@@ -1,0 +1,157 @@
+package control
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// newShardedPlane wires a manager to a ShardedDialer over hub group
+// endpoints: every admitted flow lands on one of `shards` shared
+// transports, exactly the thousand-group daemon topology but in-memory.
+func newShardedPlane(t *testing.T, shards int) (*testPlane, *ShardedDialer) {
+	t.Helper()
+	p := &testPlane{
+		hub:   transport.NewHub(),
+		sinks: newMemSinks(),
+	}
+	eps := make([]transport.GroupTransport, shards)
+	for i := range eps {
+		eps[i] = p.hub.Endpoint().(transport.GroupTransport)
+	}
+	dialer, err := NewShardedDialer(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.sess = session.New(session.Config{})
+	p.mgr = NewManager(ManagerConfig{
+		Session:    p.sess,
+		Dialer:     dialer,
+		OpenSource: seededSource(nameSeed),
+		OpenSink:   p.sinks.open,
+	})
+	p.srv = httptest.NewServer(NewServer(p.mgr, nil).Handler())
+	t.Cleanup(func() {
+		p.srv.Close()
+		p.sess.Abort()
+	})
+	return p, dialer
+}
+
+// TestControlSpecRoundTripSharded drives the whole control-plane
+// surface over a sharded dialer: every FlowSpec field survives the
+// admission round trip (POST body → sanitized echo in FlowStatus.Spec
+// → GET), a transfer completes bit-exact over the hub's
+// group-addressed multicast, the runtime weight/ceiling knobs land,
+// and /metrics exposes the per-shard and transport-IO series.
+func TestControlSpecRoundTripSharded(t *testing.T) {
+	p, dialer := newShardedPlane(t, 2)
+	const size = 64 << 10
+
+	// A receiver exercising every control-plane knob a leaf can carry.
+	leafSpec := FlowSpec{
+		Name: "leaf", Group: "239.9.1.1", Role: RoleRecv,
+		LocalPort: 14, PeerPort: 13, Buf: 128 << 10,
+		HeadAddr: 7, ReadoptHead: true, JoinInProgress: true, Fec: 8,
+	}
+	var leaf FlowStatus
+	p.do(t, "POST", "/v1/flows", leafSpec, http.StatusCreated, &leaf)
+	if leaf.Spec == nil || !reflect.DeepEqual(*leaf.Spec, leafSpec) {
+		t.Errorf("admitted spec echo = %+v, want %+v", leaf.Spec, leafSpec)
+	}
+	p.do(t, "GET", fmt.Sprintf("/v1/flows/%d", leaf.ID), nil, http.StatusOK, &leaf)
+	if leaf.Spec == nil || !reflect.DeepEqual(*leaf.Spec, leafSpec) {
+		t.Errorf("GET spec echo = %+v, want %+v", leaf.Spec, leafSpec)
+	}
+
+	// A repair head on the same idle group.
+	headSpec := FlowSpec{
+		Name: "head", Group: "239.9.1.1", Role: RoleRecv,
+		LocalPort: 16, PeerPort: 13, Buf: 128 << 10, Head: true, Fec: 8,
+	}
+	var head FlowStatus
+	p.do(t, "POST", "/v1/flows", headSpec, http.StatusCreated, &head)
+	if head.Spec == nil || !head.Spec.Head {
+		t.Errorf("head spec echo lost Head: %+v", head.Spec)
+	}
+
+	// A full transfer over group-addressed multicast: sender and
+	// receiver share a group, so the dialer puts them on one shard.
+	var mirror, dist FlowStatus
+	p.do(t, "POST", "/v1/flows", FlowSpec{
+		Name: "mirror", Group: "239.9.2.2", Role: RoleRecv,
+		LocalPort: 2, PeerPort: 1, Fec: 8,
+	}, http.StatusCreated, &mirror)
+	p.do(t, "POST", "/v1/flows", FlowSpec{
+		Name: "dist", Group: "239.9.2.2", Role: RoleSend, Size: size,
+		Receivers: 1, LocalPort: 1, PeerPort: 2, Weight: 2,
+		MinRateBps: 1e6, MaxRateBps: 64e6, Fec: 8,
+	}, http.StatusCreated, &dist)
+	if dist.Spec == nil || dist.Spec.Weight != 2 || dist.Spec.MinRateBps != 1e6 ||
+		dist.Spec.MaxRateBps != 64e6 || dist.Spec.Fec != 8 {
+		t.Errorf("sender spec echo = %+v", dist.Spec)
+	}
+	dist = p.waitFlow(t, dist.ID, "sender done", func(fs FlowStatus) bool { return fs.State == StateDone })
+	if got := p.sinks.get("mirror").bytes(); !bytes.Equal(got, expectPattern("dist", size)) {
+		t.Errorf("sharded transfer delivered %d bytes, not bit-exact with the %d-byte source", len(got), size)
+	}
+	if dist.Sender == nil || dist.Sender.FecParitySent == 0 {
+		t.Error("Fec knob did not reach the sender machine over the sharded dialer")
+	}
+
+	// Runtime knobs on a sender that stays running (no receivers ever
+	// join, so it cannot finish under us).
+	var stay FlowStatus
+	p.do(t, "POST", "/v1/flows", FlowSpec{
+		Name: "stay", Group: "239.9.3.3", Role: RoleSend, Size: 1 << 20,
+		Receivers: 1, LocalPort: 21, PeerPort: 22, Weight: 1.5,
+	}, http.StatusCreated, &stay)
+	p.do(t, "PATCH", fmt.Sprintf("/v1/flows/%d", stay.ID),
+		map[string]float64{"weight": 2.5, "ceiling_bps": 1e6}, http.StatusOK, &stay)
+	if stay.Weight != 2.5 {
+		t.Errorf("patched weight = %v, want 2.5", stay.Weight)
+	}
+	p.waitFlow(t, stay.ID, "ceiling applied", func(fs FlowStatus) bool {
+		return fs.Sender != nil && fs.Sender.CeilingBps == 1e6
+	})
+
+	// The sharded dialer reports per-shard membership: leaf + head share
+	// the 239.9.1.1 shard, mirror joined 239.9.2.2's shard.
+	joined := 0
+	for _, st := range dialer.ShardStats() {
+		joined += st.Joined
+	}
+	if joined != 2 {
+		t.Errorf("shard stats joined sum = %d, want 2 (two distinct groups with members)", joined)
+	}
+
+	// /metrics renders the per-shard and transport-IO series.
+	resp, err := http.Get(p.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`hrmc_shard_groups_joined{shard="0"}`,
+		`hrmc_shard_groups_joined{shard="1"}`,
+		"hrmc_transport_truncated_datagrams_total",
+		"hrmc_transport_send_errors_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sender"
+	"repro/internal/sim"
+)
+
+// TestManyGroupsPopulation models the thousand-group daemon's workload
+// shape in the discrete-event world: a population of independent
+// groups — each its own sender, receivers, and loss profile drawn from
+// the paper's characteristic groups — all completing reliably. Each
+// group is one Network (the model is single-sender by construction);
+// what the scenario pins is that per-group protocol cost does not
+// depend on the population: NAK and retransmission counts for group i
+// running alone equal those of group i inside the population, because
+// groups share no state. A regression that couples groups (global
+// registries, shared counters misused as per-flow state) breaks the
+// equality.
+func TestManyGroupsPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		groups = 24
+		size   = 128 << 10
+		buf    = 64 << 10
+	)
+	profiles := []Group{GroupA, GroupB, GroupC}
+
+	run := func(i int) (retrans, naks int64) {
+		g := profiles[i%len(profiles)]
+		net := buildTransfer(uint64(1000+i), Rate10Mbps, 2, g, size, buf, sender.HRMC)
+		res := net.Run(600 * sim.Second)
+		if !res.Completed {
+			t.Fatalf("group %d (%s) did not complete", i, g.Name)
+		}
+		for j, r := range net.Receivers() {
+			if r.Received != size || r.BadBytes != 0 {
+				t.Errorf("group %d receiver %d: %d bytes, %d bad", i, j, r.Received, r.BadBytes)
+			}
+			naks += r.M.Stats().NaksSent
+		}
+		return net.Sender().M.Stats().Retransmissions, naks
+	}
+
+	// Baseline: each group alone.
+	type cost struct{ retrans, naks int64 }
+	alone := make([]cost, groups)
+	for i := 0; i < groups; i++ {
+		r, n := run(i)
+		alone[i] = cost{r, n}
+	}
+	// Population: the same groups again, interleaved in one process.
+	// Identical seeds must reproduce identical protocol behavior.
+	for i := 0; i < groups; i++ {
+		r, n := run(i)
+		if r != alone[i].retrans || n != alone[i].naks {
+			t.Errorf("group %d cost changed inside the population: retrans %d→%d naks %d→%d",
+				i, alone[i].retrans, r, alone[i].naks, n)
+		}
+	}
+}

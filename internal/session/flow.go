@@ -47,6 +47,15 @@ func WithWeight(w float64) FlowOption {
 	}
 }
 
+// WithGroup tags the flow with its multicast group on a shared
+// GroupTransport: outgoing multicast is addressed to g (instead of the
+// transport's only group), and arriving packets tagged with a
+// different group are dropped at the demultiplexer as cross-group
+// strays. Zero (the default) keeps the single-group behavior.
+func WithGroup(g transport.GroupID) FlowOption {
+	return func(f *flow) { f.group = g }
+}
+
 // DefaultFecGroupSize is the parity group size K used when FEC is
 // enabled without an explicit K.
 const DefaultFecGroupSize = 8
@@ -63,8 +72,8 @@ type FecConfig struct {
 	K int
 }
 
-// groupSize resolves the effective group size of an enabled config.
-func (c FecConfig) groupSize() int {
+// GroupSize resolves the effective group size of an enabled config.
+func (c FecConfig) GroupSize() int {
 	if c.K <= 0 {
 		return DefaultFecGroupSize
 	}
@@ -110,6 +119,10 @@ type flow struct {
 	port   uint16
 	weight float64
 	fec    FecConfig
+	// group is the flow's multicast group on a shared GroupTransport
+	// (see WithGroup); immutable after init, so the receive and send
+	// paths read it without the flow lock.
+	group transport.GroupID
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -149,6 +162,7 @@ func (f *flow) stage(items []outItem, p *packet.Packet, windowed, multicast bool
 		owner:     p,
 		multicast: multicast,
 		to:        to,
+		group:     f.group,
 	})
 }
 
@@ -183,6 +197,10 @@ func (f *flow) Label() string { return f.label }
 
 // Port returns the flow's local (demux) port.
 func (f *flow) Port() uint16 { return f.port }
+
+// Group returns the flow's WithGroup tag (0 on single-group
+// transports).
+func (f *flow) Group() transport.GroupID { return f.group }
 
 // SenderFlow is one reliable-multicast sending flow hosted by a
 // session. It keeps the blocking Write/Close socket feel of the kernel
@@ -417,7 +435,7 @@ func (f *SenderFlow) snapshot() FlowSnapshot {
 	w := f.weight
 	f.mu.Unlock()
 	return FlowSnapshot{
-		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port,
+		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port, Group: f.group,
 		Weight: w, Done: done, Sender: &cp,
 	}
 }
@@ -541,7 +559,7 @@ func (f *ReceiverFlow) snapshot() FlowSnapshot {
 	done := f.m.Done()
 	f.mu.Unlock()
 	return FlowSnapshot{
-		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port,
+		ID: f.id, Label: f.label, Kind: f.kind, Port: f.port, Group: f.group,
 		Done: done, Receiver: &cp,
 	}
 }

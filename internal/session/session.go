@@ -124,6 +124,7 @@ type outItem struct {
 	owner     *packet.Packet
 	multicast bool
 	to        packet.NodeID
+	group     transport.GroupID
 }
 
 // New creates a session and starts its shared tick loop.
@@ -283,7 +284,7 @@ func sendItems(items []outItem, env []transport.Envelope, pkts []packet.Packet) 
 		for k := 0; k < n; k++ {
 			it := &items[i+k]
 			pkts[k] = packet.Packet{Header: it.hdr, Payload: it.payload}
-			env[k] = transport.Envelope{Pkt: &pkts[k], Multicast: it.multicast, To: it.to}
+			env[k] = transport.Envelope{Pkt: &pkts[k], Multicast: it.multicast, To: it.to, Group: it.group}
 		}
 		_ = items[i].bt.SendBatch(env)
 		for k := 0; k < n; k++ {
@@ -458,6 +459,16 @@ func (s *Session) runRecv(l *recvLoop) {
 				env[i] = transport.Envelope{}
 				continue
 			}
+			// On a shared group transport, ports are only unique within
+			// one daemon: a group-tagged arrival that does not match the
+			// flow's own group is a cross-group stray — recycle it
+			// rather than feeding a foreign group's packet to the
+			// machine. (flow.group is immutable after init.)
+			if fg := f.base().group; fg != 0 && env[i].Group != 0 && env[i].Group != fg {
+				transport.PutPacket(env[i].Pkt)
+				env[i] = transport.Envelope{}
+				continue
+			}
 			gi := -1
 			for j := range groups {
 				if groups[j].f == f {
@@ -540,7 +551,7 @@ func (s *Session) OpenSender(tr transport.Transport, cfg sender.Config, opts ...
 	f := &SenderFlow{}
 	f.init(s, KindSender, tr, cfg.LocalPort, opts)
 	if f.fec.Enabled {
-		cfg.FECGroupSize = f.fec.groupSize()
+		cfg.FECGroupSize = f.fec.GroupSize()
 	}
 	f.m = sender.New(cfg)
 	f.capCeiling = f.m.MaxRate()
@@ -566,7 +577,7 @@ func (s *Session) OpenReceiver(tr transport.Transport, cfg receiver.Config, opts
 	f := &ReceiverFlow{}
 	f.init(s, KindReceiver, tr, cfg.LocalPort, opts)
 	if f.fec.Enabled {
-		cfg.FECGroupSize = f.fec.groupSize()
+		cfg.FECGroupSize = f.fec.GroupSize()
 	}
 	f.m = receiver.New(cfg)
 	if err := s.attach(f); err != nil {
@@ -581,6 +592,9 @@ type FlowSnapshot struct {
 	Label string
 	Kind  Kind
 	Port  uint16
+	// Group is the flow's multicast group tag on a shared
+	// GroupTransport (zero on single-group transports).
+	Group transport.GroupID
 	// Weight is the flow's fair-share weight under a session budget
 	// (senders only; zero for receivers).
 	Weight float64

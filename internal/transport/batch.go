@@ -16,12 +16,16 @@ import (
 
 // Envelope is one packet in flight with its addressing. On the send
 // side To and Multicast select the destination (To is ignored for
-// multicast); on the receive side From carries the source node ID and
+// multicast), and Group selects which multicast group of a
+// GroupTransport the packet goes to (ignored by single-group
+// transports); on the receive side From carries the source node ID,
+// Group the multicast group the packet arrived on (0 for unicast), and
 // the destination fields are zero.
 type Envelope struct {
 	Pkt       *packet.Packet
 	From      packet.NodeID
 	To        packet.NodeID
+	Group     GroupID
 	Multicast bool
 }
 

@@ -1,0 +1,41 @@
+// Transport-level datapath telemetry. These are process-wide counters
+// for incidents that would otherwise vanish: datagrams dropped for
+// exceeding the batch buffer size, and per-destination send failures
+// beyond the first (SendBatch returns only the first error, so without
+// the counter a single dead destination masks every later failure in
+// the batch). The control plane renders them on /metrics as
+// hrmc_transport_* counters.
+package transport
+
+import "sync/atomic"
+
+// IOCounters aggregates transport datapath incidents across every live
+// transport in the process. Fields are atomics; read them through
+// IOStats.
+type IOCounters struct {
+	// TruncatedDatagrams counts received datagrams dropped because they
+	// exceeded the batch receive buffer (udpmcast's mmsgBufSize) — the
+	// signature of a peer misconfigured to send oversized datagrams.
+	TruncatedDatagrams atomic.Int64
+	// SendErrors counts per-destination send failures, including those
+	// masked by SendBatch's first-error-only return.
+	SendErrors atomic.Int64
+}
+
+// IO is the process-wide transport incident counter set.
+var IO IOCounters
+
+// IOSnapshot is a point-in-time copy of the IO counters.
+type IOSnapshot struct {
+	TruncatedDatagrams int64
+	SendErrors         int64
+}
+
+// IOStats returns a snapshot of the process-wide transport incident
+// counters.
+func IOStats() IOSnapshot {
+	return IOSnapshot{
+		TruncatedDatagrams: IO.TruncatedDatagrams.Load(),
+		SendErrors:         IO.SendErrors.Load(),
+	}
+}

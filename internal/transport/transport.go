@@ -65,6 +65,8 @@ type Hub struct {
 	mu     sync.Mutex
 	eps    map[packet.NodeID]*hubEndpoint
 	next   packet.NodeID
+	groups map[string]GroupID // group name → dense ID, shared by all endpoints
+	nextG  GroupID
 	loss   float64
 	delay  time.Duration
 	rng    *rand.Rand
@@ -94,7 +96,11 @@ func WithDelay(d time.Duration) HubOption {
 
 // NewHub creates an in-memory multicast domain.
 func NewHub(opts ...HubOption) *Hub {
-	h := &Hub{eps: make(map[packet.NodeID]*hubEndpoint)}
+	h := &Hub{
+		eps:    make(map[packet.NodeID]*hubEndpoint),
+		groups: make(map[string]GroupID),
+		nextG:  1,
+	}
 	for _, o := range opts {
 		o(h)
 	}
@@ -120,8 +126,9 @@ func (h *Hub) Endpoint() Transport {
 }
 
 type hubItem struct {
-	pkt  *packet.Packet
-	from packet.NodeID
+	pkt   *packet.Packet
+	from  packet.NodeID
+	group GroupID
 }
 
 // delivery is one target endpoint's share of a SendBatch.
@@ -137,6 +144,11 @@ type hubEndpoint struct {
 	// stage indexes this endpoint's delivery list while a SendBatch
 	// holds the hub lock; -1 between batches. Guarded by hub.mu.
 	stage int
+
+	// joined is the endpoint's group membership set (nil until the
+	// first Join). Group-addressed multicast (Envelope.Group != 0) is
+	// delivered only to joined members. Guarded by hub.mu.
+	joined map[GroupID]bool
 
 	// filter is the consumer's early-demux predicate; senders consult
 	// it before cloning a delivery for this endpoint.
@@ -156,7 +168,67 @@ var (
 	_ Transport         = (*hubEndpoint)(nil)
 	_ BatchTransport    = (*hubEndpoint)(nil)
 	_ FilteredTransport = (*hubEndpoint)(nil)
+	_ GroupTransport    = (*hubEndpoint)(nil)
 )
+
+// groupID resolves (or assigns) the hub-wide ID for a group name.
+// Caller holds h.mu.
+func (h *Hub) groupID(group string) GroupID {
+	id, ok := h.groups[group]
+	if !ok {
+		id = h.nextG
+		h.nextG++
+		h.groups[group] = id
+	}
+	return id
+}
+
+// Join implements GroupTransport: the endpoint becomes a member of the
+// named group and receives its group-addressed multicast from now on.
+func (e *hubEndpoint) Join(group string) (GroupID, error) {
+	h := e.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	id := h.groupID(group)
+	if e.joined == nil {
+		e.joined = make(map[GroupID]bool)
+	}
+	e.joined[id] = true
+	return id, nil
+}
+
+// Register implements GroupTransport: it resolves the group's ID for
+// sending without membership.
+func (e *hubEndpoint) Register(group string) (GroupID, error) {
+	h := e.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	return h.groupID(group), nil
+}
+
+// Leave implements GroupTransport.
+func (e *hubEndpoint) Leave(gid GroupID) error {
+	h := e.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(e.joined, gid)
+	return nil
+}
+
+// GroupStats implements GroupReporter with the membership count; the
+// hub does not meter per-endpoint datapath traffic.
+func (e *hubEndpoint) GroupStats() GroupStats {
+	h := e.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return GroupStats{Joined: len(e.joined)}
+}
 
 // SetInboundFilter implements FilteredTransport.
 func (e *hubEndpoint) SetInboundFilter(f InboundFilterFunc) {
@@ -221,7 +293,7 @@ func (e *hubEndpoint) SendBatch(env []Envelope) error {
 		sb.release()
 		return ErrClosed
 	}
-	keep := func(t *hubEndpoint, p *packet.Packet) {
+	keep := func(t *hubEndpoint, p *packet.Packet, g GroupID) {
 		// Early demux: a target that could never route this packet to
 		// a flow discards it before the loss draw and before cloning.
 		if fp := t.filter.Load(); fp != nil && !(*fp)(&p.Header) {
@@ -233,17 +305,30 @@ func (e *hubEndpoint) SendBatch(env []Envelope) error {
 		if t.stage < 0 {
 			t.stage = sb.add(t)
 		}
-		sb.dels[t.stage].items = append(sb.dels[t.stage].items, hubItem{pkt: p, from: e.id})
+		sb.dels[t.stage].items = append(sb.dels[t.stage].items, hubItem{pkt: p, from: e.id, group: g})
 	}
 	for i := range env {
-		if env[i].Multicast {
-			for id, t := range h.eps {
-				if id != e.id {
-					keep(t, env[i].Pkt)
+		switch {
+		case env[i].Multicast && env[i].Group != 0:
+			// Group-addressed multicast reaches the group's members only
+			// — including the sending endpoint, matching real multicast
+			// loopback, where a shared socket hosting both ends of a
+			// group hears its own sends.
+			for _, t := range h.eps {
+				if t.joined[env[i].Group] {
+					keep(t, env[i].Pkt, env[i].Group)
 				}
 			}
-		} else if t, ok := h.eps[env[i].To]; ok {
-			keep(t, env[i].Pkt)
+		case env[i].Multicast:
+			for id, t := range h.eps {
+				if id != e.id {
+					keep(t, env[i].Pkt, 0)
+				}
+			}
+		default:
+			if t, ok := h.eps[env[i].To]; ok {
+				keep(t, env[i].Pkt, 0)
+			}
 		}
 	}
 	for i := range sb.dels {
@@ -320,7 +405,7 @@ func (e *hubEndpoint) pop(buf []Envelope) int {
 	for i := 0; i < n; i++ {
 		it := e.queue[e.head+i]
 		e.queue[e.head+i] = hubItem{}
-		buf[i] = Envelope{Pkt: it.pkt, From: it.from}
+		buf[i] = Envelope{Pkt: it.pkt, From: it.from, Group: it.group}
 	}
 	e.head += n
 	remaining := len(e.queue) - e.head

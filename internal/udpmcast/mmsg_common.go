@@ -4,7 +4,14 @@
 // surface, so the transports above are identical on every platform.
 package udpmcast
 
-import "net"
+import (
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
 
 const (
 	// mmsgBatch is how many datagrams one recvmmsg drains at most.
@@ -24,16 +31,47 @@ type outMsg struct {
 	addr *net.UDPAddr
 }
 
+// truncLogOnce gates the one-time log line for truncated-datagram
+// drops; afterwards the incident is visible only through the counters.
+var truncLogOnce sync.Once
+
+// countTruncated records one truncated-datagram drop in the process
+// counter, the per-transport counter when present, and logs the first
+// occurrence.
+func countTruncated(perTransport *atomic.Int64) {
+	transport.IO.TruncatedDatagrams.Add(1)
+	if perTransport != nil {
+		perTransport.Add(1)
+	}
+	truncLogOnce.Do(func() {
+		log.Printf("udpmcast: dropped datagram at or above the %d-byte batch buffer; further drops are counted in hrmc_transport_truncated_datagrams_total", mmsgBufSize)
+	})
+}
+
+// countSendError records one per-destination send failure in the
+// process counter and the per-transport counter when present.
+func countSendError(perTransport *atomic.Int64) {
+	transport.IO.SendErrors.Add(1)
+	if perTransport != nil {
+		perTransport.Add(1)
+	}
+}
+
 // writeSeq transmits each message with its own syscall — the portable
 // path, and the runtime fallback when batch syscalls are unavailable.
-func writeSeq(conn *net.UDPConn, msgs []outMsg) error {
+// Every failure is counted (errs may be nil); only the first is
+// returned.
+func writeSeq(conn *net.UDPConn, msgs []outMsg, errs *atomic.Int64) error {
 	var firstErr error
 	for _, m := range msgs {
 		if m.addr == nil || len(m.buf) == 0 {
 			continue
 		}
-		if _, err := conn.WriteToUDP(m.buf, m.addr); err != nil && firstErr == nil {
-			firstErr = err
+		if _, err := conn.WriteToUDP(m.buf, m.addr); err != nil {
+			countSendError(errs)
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr

@@ -5,7 +5,10 @@
 // surface as mmsg_linux.go.
 package udpmcast
 
-import "net"
+import (
+	"net"
+	"sync/atomic"
+)
 
 // batchReader reads one datagram per call on platforms without
 // recvmmsg support.
@@ -37,8 +40,11 @@ func (r *batchReader) datagram(int) ([]byte, *net.UDPAddr) {
 }
 
 // batchWriter sends each message with its own syscall.
-type batchWriter struct{ conn *net.UDPConn }
+type batchWriter struct {
+	conn *net.UDPConn
+	errs *atomic.Int64 // optional per-transport send-error counter
+}
 
 func newBatchWriter(conn *net.UDPConn) *batchWriter { return &batchWriter{conn: conn} }
 
-func (w *batchWriter) write(msgs []outMsg) error { return writeSeq(w.conn, msgs) }
+func (w *batchWriter) write(msgs []outMsg) error { return writeSeq(w.conn, msgs, w.errs) }

@@ -41,6 +41,10 @@ func ntohs(v uint16) uint16 {
 
 func htons(v uint16) uint16 { return ntohs(v) }
 
+// pktinfoSpace is CMSG_SPACE(sizeof(struct in_pktinfo)) on 64-bit
+// Linux: a 16-byte aligned cmsghdr plus the 12-byte payload rounded up.
+const pktinfoSpace = 32
+
 // batchReader reads datagram batches from one UDP socket. The mmsghdr,
 // iovec, name, and payload buffers are set up once and reused for
 // every recvmmsg call.
@@ -53,10 +57,22 @@ type batchReader struct {
 	bufs  [][]byte
 	addrs []net.UDPAddr // reused per-datagram source addresses
 
+	// Destination-address recovery (IP_PKTINFO), enabled by
+	// newBatchReaderDst for group transports that demux on the
+	// multicast group a datagram was addressed to.
+	wantDst bool
+	ctrls   [][]byte // per-slot control buffers, nil unless wantDst
+
+	// trunc, when set, additionally counts truncated-datagram drops for
+	// the owning transport's stats.
+	trunc *atomic.Int64
+
 	// Single-read fallback state, used when rc is unavailable or the
 	// batch syscalls have been disabled at runtime.
 	oneBuf  []byte
+	oneOOB  []byte
 	oneN    int
+	oneDst  uint32
 	oneAddr *net.UDPAddr
 	lastOne bool // last read() used the fallback path
 }
@@ -85,6 +101,25 @@ func newBatchReader(conn *net.UDPConn) *batchReader {
 	return r
 }
 
+// newBatchReaderDst is newBatchReader plus destination-address
+// recovery: each recvmmsg slot carries a control buffer sized for one
+// IP_PKTINFO message (the socket must have the option enabled), and
+// dst() reports the IPv4 address each datagram was sent to.
+func newBatchReaderDst(conn *net.UDPConn) *batchReader {
+	r := newBatchReader(conn)
+	r.wantDst = true
+	if r.rc == nil {
+		return r
+	}
+	r.ctrls = make([][]byte, len(r.msgs))
+	for i := range r.ctrls {
+		r.ctrls[i] = make([]byte, pktinfoSpace)
+		r.msgs[i].hdr.Control = &r.ctrls[i][0]
+		r.msgs[i].hdr.SetControllen(pktinfoSpace)
+	}
+	return r
+}
+
 // read blocks until at least one datagram arrives and returns how many
 // (at most max) were drained in one recvmmsg. It falls back to a
 // single blocking read when batch syscalls are unavailable.
@@ -100,6 +135,9 @@ func (r *batchReader) read(max int) (int, error) {
 	}
 	for i := 0; i < max; i++ {
 		r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+		if r.ctrls != nil {
+			r.msgs[i].hdr.SetControllen(pktinfoSpace) // kernel shrank it last read
+		}
 		r.msgs[i].n = 0
 	}
 	var n int
@@ -128,10 +166,23 @@ func (r *batchReader) read(max int) (int, error) {
 	return n, nil
 }
 
-// readOne is the single-datagram path: one blocking ReadFromUDP.
+// readOne is the single-datagram path: one blocking ReadFromUDP (or
+// ReadMsgUDP when the destination address is wanted).
 func (r *batchReader) readOne() (int, error) {
 	if r.oneBuf == nil {
 		r.oneBuf = make([]byte, maxDatagram)
+	}
+	if r.wantDst {
+		if r.oneOOB == nil {
+			r.oneOOB = make([]byte, pktinfoSpace)
+		}
+		n, oobn, _, addr, err := r.conn.ReadMsgUDP(r.oneBuf, r.oneOOB)
+		if err != nil {
+			return 0, err
+		}
+		r.oneN, r.oneAddr, r.lastOne = n, addr, true
+		r.oneDst = pktinfoDst(r.oneOOB[:oobn])
+		return 1, nil
 	}
 	n, addr, err := r.conn.ReadFromUDP(r.oneBuf)
 	if err != nil {
@@ -150,8 +201,10 @@ func (r *batchReader) datagram(i int) ([]byte, *net.UDPAddr) {
 	n := int(r.msgs[i].n)
 	if n >= mmsgBufSize {
 		// Possible kernel-side truncation: poison the length so the
-		// decoder rejects it rather than delivering a clipped packet.
+		// decoder rejects it rather than delivering a clipped packet,
+		// and count the drop instead of losing it silently.
 		n = 0
+		countTruncated(r.trunc)
 	}
 	name := &r.names[i]
 	addr := &r.addrs[i]
@@ -162,6 +215,46 @@ func (r *batchReader) datagram(i int) ([]byte, *net.UDPAddr) {
 	return r.bufs[i][:n], addr
 }
 
+// dst returns the IPv4 destination address of the i-th datagram of the
+// last read as a big-endian uint32, or 0 when unavailable. Valid only
+// on readers built with newBatchReaderDst.
+func (r *batchReader) dst(i int) uint32 {
+	if r.lastOne {
+		return r.oneDst
+	}
+	if r.ctrls == nil {
+		return 0
+	}
+	return pktinfoDst(r.ctrls[i][:r.msgs[i].hdr.Controllen])
+}
+
+// pktinfoDst walks a received control-message region and extracts the
+// in_pktinfo destination address (ipi_addr) as a big-endian uint32.
+// Returns 0 when no IP_PKTINFO message is present or the region is
+// malformed.
+func pktinfoDst(b []byte) uint32 {
+	const hdrLen = syscall.SizeofCmsghdr
+	for len(b) >= hdrLen {
+		h := (*syscall.Cmsghdr)(unsafe.Pointer(&b[0]))
+		l := int(h.Len)
+		if l < hdrLen || l > len(b) {
+			return 0
+		}
+		if h.Level == syscall.IPPROTO_IP && h.Type == syscall.IP_PKTINFO && l >= hdrLen+12 {
+			// struct in_pktinfo{ipi_ifindex; ipi_spec_dst; ipi_addr}:
+			// the wire destination lives in the last 4 bytes.
+			d := b[hdrLen : hdrLen+12]
+			return uint32(d[8])<<24 | uint32(d[9])<<16 | uint32(d[10])<<8 | uint32(d[11])
+		}
+		adv := (l + 7) &^ 7 // CMSG_ALIGN for 64-bit
+		if adv <= 0 || adv > len(b) {
+			return 0
+		}
+		b = b[adv:]
+	}
+	return 0
+}
+
 // batchWriter sends datagram batches to per-message destinations over
 // one UDP socket. Not safe for concurrent use; callers serialize.
 type batchWriter struct {
@@ -170,6 +263,7 @@ type batchWriter struct {
 	msgs  []mmsghdr
 	iovs  []syscall.Iovec
 	names []syscall.RawSockaddrInet4
+	errs  *atomic.Int64 // optional per-transport send-error counter
 }
 
 func newBatchWriter(conn *net.UDPConn) *batchWriter {
@@ -182,10 +276,13 @@ func newBatchWriter(conn *net.UDPConn) *batchWriter {
 
 // write transmits every message, using sendmmsg to cover the batch in
 // as few syscalls as possible. A per-message destination of nil is
-// skipped (the caller has already recorded its error).
+// skipped (the caller has already recorded its error). A message the
+// kernel rejects is counted, skipped, and the batch continues — one
+// dead destination no longer strands the rest of the batch — with the
+// first error returned at the end.
 func (w *batchWriter) write(msgs []outMsg) error {
 	if w.rc == nil || !mmsgSupported.Load() {
-		return writeSeq(w.conn, msgs)
+		return writeSeq(w.conn, msgs, w.errs)
 	}
 	if len(w.msgs) < len(msgs) {
 		w.msgs = make([]mmsghdr, len(msgs))
@@ -216,6 +313,7 @@ func (w *batchWriter) write(msgs []outMsg) error {
 		n++
 	}
 	sent := 0
+	var firstErr error
 	for sent < n {
 		var got int
 		var serr syscall.Errno
@@ -236,15 +334,24 @@ func (w *batchWriter) write(msgs []outMsg) error {
 			if serr == syscall.ENOSYS || serr == syscall.EPERM {
 				mmsgSupported.Store(false)
 				if sent == 0 {
-					return writeSeq(w.conn, msgs)
+					return writeSeq(w.conn, msgs, w.errs)
 				}
 			}
-			return serr
+			// sendmmsg reports an errno only when the message at index
+			// `sent` failed with nothing later sent: count it, skip it,
+			// keep going so one dead destination doesn't strand the
+			// rest of the batch.
+			countSendError(w.errs)
+			if firstErr == nil {
+				firstErr = serr
+			}
+			sent++
+			continue
 		}
 		if got <= 0 {
 			break
 		}
 		sent += got
 	}
-	return nil
+	return firstErr
 }

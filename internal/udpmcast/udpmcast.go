@@ -179,6 +179,7 @@ func (t *SenderTransport) SendBatch(env []transport.Envelope) error {
 			addr = t.addrs[env[i].To]
 			t.mu.Unlock()
 			if addr == nil {
+				countSendError(nil)
 				if firstErr == nil {
 					firstErr = fmt.Errorf("udpmcast: unknown node %v", env[i].To)
 				}
@@ -460,6 +461,7 @@ func (t *ReceiverTransport) SendBatch(env []transport.Envelope) error {
 		addr := t.group
 		if !env[i].Multicast {
 			if sender == nil {
+				countSendError(nil)
 				if firstErr == nil {
 					firstErr = fmt.Errorf("udpmcast: sender address not yet known")
 				}

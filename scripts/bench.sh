@@ -35,12 +35,21 @@
 # evidence, and it gates only allocations and bit-exact completion. It
 # skips itself where loopback multicast is unavailable.
 #
+# It also runs BenchmarkManyGroups (1/64/1000 group flows over 8+8
+# shared shard transports) and writes BENCH_8.json with each arm's
+# per-group cost and post-admission goroutine growth. Gates: per-group
+# cost at 1,000 groups must stay within 1.5x the 1-group cost (a
+# shared-socket demux with an O(groups) per-packet term fails this),
+# and goroutine growth at 1,000 groups must stay <= 64 (O(transports),
+# never O(groups)).
+#
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 # Env:
 #   BENCH_OUT   output path (default BENCH_5.json in the repo root)
 #   BENCH6_OUT  feedback-plane output path (default BENCH_6.json)
 #   BENCH7_OUT  FEC crossover output path (default BENCH_7.json)
+#   BENCH8_OUT  many-groups output path (default BENCH_8.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +57,7 @@ BENCHTIME="${1:-3x}"
 OUT="${BENCH_OUT:-BENCH_5.json}"
 OUT6="${BENCH6_OUT:-BENCH_6.json}"
 OUT7="${BENCH7_OUT:-BENCH_7.json}"
+OUT8="${BENCH8_OUT:-BENCH_8.json}"
 
 RAW=$(HRMC_BENCH_FLOWS=1,12,64 go test -run '^$' -bench 'BenchmarkSessionMultiplex' \
 	-benchtime "$BENCHTIME" -benchmem .)
@@ -219,3 +229,56 @@ END {
 }' > "$OUT7"
 
 echo "wrote $OUT7"
+
+RAW8=$(HRMC_BENCH_GROUPS=1,64,1000 go test -run '^$' -bench 'BenchmarkManyGroups' \
+	-benchtime "$BENCHTIME" .)
+echo "$RAW8"
+
+echo "$RAW8" | awk -v benchtime="$BENCHTIME" '
+/BenchmarkManyGroups\/groups=/ {
+	name = $1
+	sub(/.*groups=/, "", name)
+	sub(/-[0-9]+$/, "", name)
+	# Custom metrics shift field positions, so scan value-unit pairs.
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns[name] = $i
+		else if ($(i+1) == "MB/s") mbs[name] = $i
+		else if ($(i+1) == "ns/group") pg[name] = $i
+		else if ($(i+1) == "goroutines") gor[name] = $i
+	}
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkManyGroups\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"note\": \"N group flows (one sender + one receiver each, 32 KiB) multiplexed over 8+8 shared shard transports. ns_group is the per-group cost of the whole admission+transfer cycle; goroutines is the growth after all flows are admitted, which sharding keeps O(transports). Gates: per-group cost at 1000 groups <= 1.5x the 1-group cost, goroutine growth at 1000 groups <= 64.\",\n"
+	printf "  \"arms\": {\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"groups=%s\": {\"ns_op\": %s, \"mb_s\": %s, \"ns_group\": %s, \"goroutines\": %s}%s\n",
+			name, ns[name], mbs[name], pg[name], gor[name], (i < n-1 ? "," : "")
+	}
+	printf "  }"
+	ratio = -1
+	if (("1" in pg) && ("1000" in pg) && pg["1"] + 0 > 0) {
+		ratio = pg["1000"] / pg["1"]
+		printf ",\n  \"pergroup_1000_over_1\": %.3f\n", ratio
+	} else {
+		printf "\n"
+	}
+	printf "}\n"
+	# Gates: flat per-group cost, O(transports) goroutines.
+	fail = 0
+	if (ratio >= 0 && ratio > 1.5) {
+		printf "bench.sh: per-group cost at 1000 groups is %.2fx the 1-group cost (gate: <= 1.5x)\n", ratio > "/dev/stderr"
+		fail = 1
+	}
+	if (("1000" in gor) && gor["1000"] + 0 > 64) {
+		printf "bench.sh: goroutine growth at 1000 groups = %s (gate: <= 64, O(transports))\n", gor["1000"] > "/dev/stderr"
+		fail = 1
+	}
+	if (fail) exit 1
+}' > "$OUT8"
+
+echo "wrote $OUT8"
