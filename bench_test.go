@@ -104,7 +104,7 @@ func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16", "val") }
 // a function of concurrent flow count: N sender flows, each with one
 // receiver, multiplexed over one internal/session tick loop and one
 // in-memory hub. Reported MB/s is aggregate across all flows; the
-// interesting series is how it scales (or doesn't) with flows=1→64.
+// interesting series is how it scales (or doesn't) with flows=1→256.
 // The wide end (16–64) exercises the batched tick path, where the
 // driver takes each flow's lock once per tick for governor bookkeeping,
 // machine tick, and demand sampling combined.
@@ -130,6 +130,10 @@ func BenchmarkSessionMultiplex(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				runSessionTransfer(b, datas, scratch)
 			}
+			b.StopTimer()
+			// Per-flow cost makes the "flat to 256 flows" claim checkable:
+			// bench.sh gates ns/flow at the wide end against the mid sweep.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*flows), "ns/flow")
 		})
 	}
 }
@@ -141,7 +145,7 @@ func BenchmarkSessionMultiplex(b *testing.B) {
 func benchFlowCounts() []int {
 	env := os.Getenv("HRMC_BENCH_FLOWS")
 	if env == "" {
-		return []int{1, 2, 4, 8, 16, 32, 64}
+		return []int{1, 2, 4, 8, 16, 32, 64, 256}
 	}
 	var out []int
 	for _, part := range strings.Split(env, ",") {
@@ -152,7 +156,7 @@ func benchFlowCounts() []int {
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return []int{1, 2, 4, 8, 16, 32, 64}
+		return []int{1, 2, 4, 8, 16, 32, 64, 256}
 	}
 	return out
 }

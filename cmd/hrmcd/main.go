@@ -82,6 +82,16 @@ type Config struct {
 	// DataPort is the UDP data port shared by every group in sharded
 	// mode. Group addresses must be bare IPs or ip:DataPort.
 	DataPort int `json:"data_port,omitempty"`
+	// GSO, when explicitly false, disables UDP segmentation offload
+	// (GSO on send, GRO on receive) for every socket the daemon opens.
+	// Unset or true leaves offload on; kernels without UDP_SEGMENT /
+	// UDP_GRO fall back automatically either way.
+	GSO *bool `json:"gso,omitempty"`
+	// SendPollers is how many session send pollers drain staged
+	// outgoing traffic, with transports spread across them round-robin.
+	// 0 defaults to Shards in sharded mode (TX parallelism matching the
+	// shard count) and 1 otherwise.
+	SendPollers int `json:"send_pollers,omitempty"`
 	// Groups lists the flows admitted at startup. In classic
 	// (non-sharded) mode each distinct group needs its own UDP port:
 	// Linux delivers multicast for same-port sockets in one SO_REUSEPORT
@@ -240,18 +250,28 @@ func newDialer(cfg *Config) (control.Dialer, func(), error) {
 }
 
 func run(cfg *Config) error {
+	if cfg.GSO != nil && !*cfg.GSO {
+		udpmcast.SetOffload(false)
+	} else if gso, gro := udpmcast.ProbeOffload(); gso || gro {
+		fmt.Printf("hrmcd: UDP offload: gso=%v gro=%v\n", gso, gro)
+	}
 	dialer, closeShards, err := newDialer(cfg)
 	if err != nil {
 		return err
 	}
 	defer closeShards()
+	pollers := cfg.SendPollers
+	if pollers <= 0 && cfg.Shards > 0 {
+		pollers = cfg.Shards
+	}
 	if cfg.Shards > 0 {
-		fmt.Printf("hrmcd: sharded transport: %d shard socket pairs on data port %d\n",
-			cfg.Shards, cfg.DataPort)
+		fmt.Printf("hrmcd: sharded transport: %d shard socket pairs on data port %d, %d send pollers\n",
+			cfg.Shards, cfg.DataPort, pollers)
 	}
 	sess := session.New(session.Config{
 		TickInterval: time.Duration(cfg.TickMS) * time.Millisecond,
 		Budget:       cfg.BudgetMbps * 1e6 / 8,
+		SendPollers:  pollers,
 	})
 	mgr := control.NewManager(control.ManagerConfig{
 		Session:   sess,

@@ -111,6 +111,22 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	add("hrmc_transport_truncated_datagrams_total", float64(io.TruncatedDatagrams), false, "")
 	add("hrmc_transport_send_errors_total", float64(io.SendErrors), false, "")
 
+	// Wire-side send accounting and segmentation-offload activity.
+	// sent_total counts kernel-split wire datagrams (a UDP GSO
+	// supersegment contributes its sub-segment count, not 1), so it is
+	// comparable whether offload is on or off; datagrams_per_syscall is
+	// the amortization the batch + offload machinery is buying.
+	add("hrmc_transport_sent_total", float64(io.SentDatagrams), false, "")
+	add("hrmc_transport_send_syscalls_total", float64(io.SendSyscalls), false, "")
+	add("hrmc_gso_segments_total", float64(io.GsoSegments), false, "")
+	add("hrmc_gro_supersegments_total", float64(io.GroSupersegments), false, "")
+	add("hrmc_gro_segments_total", float64(io.GroSegments), false, "")
+	dps := 0.0
+	if io.SendSyscalls > 0 {
+		dps = float64(io.SentDatagrams) / float64(io.SendSyscalls)
+	}
+	add("hrmc_send_datagrams_per_syscall", dps, true, "")
+
 	// Per-shard counters when flows are admitted through a ShardedDialer:
 	// membership and traffic per shared group transport.
 	if sd, ok := s.mgr.Dialer().(interface{ ShardStats() []transport.GroupStats }); ok {

@@ -123,6 +123,9 @@ type flow struct {
 	// (see WithGroup); immutable after init, so the receive and send
 	// paths read it without the flow lock.
 	group transport.GroupID
+	// sendShard is the session send-poller shard this flow stages onto,
+	// inherited from its transport at attach; immutable afterwards.
+	sendShard int
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -169,7 +172,7 @@ func (f *flow) stage(items []outItem, p *packet.Packet, windowed, multicast bool
 // ship hands the staged items to the session's shared send poller and
 // clears the scratch slots. Caller holds f.mu.
 func (f *flow) ship(items []outItem) {
-	f.sess.enqueueSend(items)
+	f.sess.enqueueSend(f.sendShard, items)
 	for i := range items {
 		items[i] = outItem{}
 	}

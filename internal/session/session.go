@@ -34,6 +34,7 @@ package session
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,6 +76,12 @@ type Config struct {
 	// len(flows)*MinRate cannot be fully honored. SetBudget adjusts the
 	// budget at runtime.
 	Budget float64
+	// SendPollers is how many shared send pollers drain staged outgoing
+	// batches. Transports are assigned to pollers round-robin at first
+	// attach, so TX parallelism scales with shards on a sharded daemon
+	// while each transport's traffic stays ordered on one poller. Zero
+	// or negative selects one poller (the pre-sharding behavior).
+	SendPollers int
 }
 
 // Session hosts many concurrent H-RMC flows over shared driver loops.
@@ -94,23 +101,34 @@ type Session struct {
 	// acquisition per flow.
 	shares map[*SenderFlow]float64
 
-	// sendq is the shared outgoing staging queue: every flow's
-	// flushLocked appends ready packets here (header by value, payload
-	// by reference, pool ownership covered by Retain) and the single
-	// send poller drains it into per-transport SendBatch calls. One
-	// poller goroutine serves every flow, so goroutine count is
-	// O(transports), not O(flows).
-	sendMu     sync.Mutex
-	sendq      []outItem
-	sendNotify chan struct{} // capacity 1: "sendq may be non-empty"
+	// sendShards are the outgoing staging queues: every flow's
+	// flushLocked appends ready packets to its transport's shard
+	// (header by value, payload by reference, pool ownership covered by
+	// Retain) and that shard's poller drains it into per-transport
+	// SendBatch calls. A handful of pollers serve every flow, so
+	// goroutine count is O(pollers + transports), not O(flows); each
+	// transport maps to exactly one shard, keeping its packet order.
+	sendShards []*sendShard
+	// nextShard round-robins transports onto send shards at first
+	// attach. Guarded by mu.
+	nextShard int
 
 	quit     chan struct{}
 	quitOnce sync.Once
-	// pollerDone closes when the send poller has shipped its final
+	// pollerDone closes when every send poller has shipped its final
 	// drain; shutdown waits on it before closing transports so staged
 	// farewells (a receiver's EOF-time UPDATE+LEAVE) reach the wire.
 	pollerDone chan struct{}
+	pollerWG   sync.WaitGroup
 	wg         sync.WaitGroup
+}
+
+// sendShard is one staging queue + notify pair owned by one send
+// poller.
+type sendShard struct {
+	mu     sync.Mutex
+	q      []outItem
+	notify chan struct{} // capacity 1: "q may be non-empty"
 }
 
 // outItem is one staged outgoing packet. The header is copied by value
@@ -132,17 +150,29 @@ func New(cfg Config) *Session {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = DefaultTickInterval
 	}
+	np := cfg.SendPollers
+	if np <= 0 {
+		np = 1
+	}
 	s := &Session{
 		cfg:        cfg,
 		start:      time.Now(),
 		loops:      make(map[transport.Transport]*recvLoop),
-		sendNotify: make(chan struct{}, 1),
+		sendShards: make([]*sendShard, np),
 		quit:       make(chan struct{}),
 		pollerDone: make(chan struct{}),
 	}
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.runTicks()
-	go s.runSendPoller()
+	s.pollerWG.Add(np)
+	for i := range s.sendShards {
+		s.sendShards[i] = &sendShard{notify: make(chan struct{}, 1)}
+		go s.runSendPoller(s.sendShards[i])
+	}
+	go func() {
+		s.pollerWG.Wait()
+		close(s.pollerDone)
+	}()
 	return s
 }
 
@@ -209,42 +239,42 @@ func (s *Session) tickAll() {
 	s.mu.Unlock()
 }
 
-// enqueueSend stages a flow's ready packets on the shared send queue
-// and wakes the poller. items' values are copied; the caller may reuse
-// its scratch slice as soon as this returns.
-func (s *Session) enqueueSend(items []outItem) {
+// enqueueSend stages a flow's ready packets on its transport's send
+// shard and wakes that shard's poller. items' values are copied; the
+// caller may reuse its scratch slice as soon as this returns.
+func (s *Session) enqueueSend(shard int, items []outItem) {
 	if len(items) == 0 {
 		return
 	}
-	s.sendMu.Lock()
-	s.sendq = append(s.sendq, items...)
-	s.sendMu.Unlock()
+	sh := s.sendShards[shard%len(s.sendShards)]
+	sh.mu.Lock()
+	sh.q = append(sh.q, items...)
+	sh.mu.Unlock()
 	select {
-	case s.sendNotify <- struct{}{}:
+	case sh.notify <- struct{}{}:
 	default:
 	}
 }
 
-// runSendPoller is the single shared send driver: it drains the staged
-// queue, groups consecutive items by transport, and ships each run
-// through one SendBatch call. SendBatch only borrows its envelopes for
-// the call, so the poller rebuilds them from scratch packets (header
-// by value, payload aliased) and releases every item's owner reference
-// right after the send.
-func (s *Session) runSendPoller() {
-	defer s.wg.Done()
-	defer close(s.pollerDone)
+// runSendPoller is one shard's send driver: it drains the shard's
+// staged queue, groups consecutive items by transport, and ships each
+// run through one SendBatch call. SendBatch only borrows its envelopes
+// for the call, so the poller rebuilds them from scratch packets
+// (header by value, payload aliased) and releases every item's owner
+// reference right after the send.
+func (s *Session) runSendPoller(sh *sendShard) {
+	defer s.pollerWG.Done()
 	var local []outItem
 	var env []transport.Envelope
 	var pkts []packet.Packet
 	drain := func() {
-		s.sendMu.Lock()
-		local = append(local[:0], s.sendq...)
-		for i := range s.sendq {
-			s.sendq[i] = outItem{}
+		sh.mu.Lock()
+		local = append(local[:0], sh.q...)
+		for i := range sh.q {
+			sh.q[i] = outItem{}
 		}
-		s.sendq = s.sendq[:0]
-		s.sendMu.Unlock()
+		sh.q = sh.q[:0]
+		sh.mu.Unlock()
 		env, pkts = sendItems(local, env, pkts)
 		for i := range local {
 			local[i] = outItem{}
@@ -252,7 +282,7 @@ func (s *Session) runSendPoller() {
 	}
 	for {
 		select {
-		case <-s.sendNotify:
+		case <-sh.notify:
 		case <-s.quit:
 			// Ship, don't drop: drained flows stage their farewells
 			// (UPDATE+LEAVE, FIN feedback) just before quit, and the
@@ -266,8 +296,30 @@ func (s *Session) runSendPoller() {
 	}
 }
 
-// sendItems ships staged items in order, one SendBatch per consecutive
-// same-transport run, and drops each owner reference after its send.
+// destOrder is the coalescing sort key: staged items of one transport
+// run are stably grouped by wire destination so the UDP writer sees
+// maximal consecutive same-destination runs — what UDP GSO fuses into
+// supersegments. The sort is stable, so each destination's packet
+// order (a flow's DATA sequence, a head's repair order) is preserved;
+// cross-destination order carries no guarantee worth preserving over
+// UDP.
+func destOrder(a, b *outItem) bool {
+	if a.multicast != b.multicast {
+		return a.multicast // multicast DATA first, then unicast
+	}
+	if a.group != b.group {
+		return a.group < b.group
+	}
+	if !a.multicast && a.to != b.to {
+		return a.to < b.to
+	}
+	return false
+}
+
+// sendItems ships staged items, one SendBatch per consecutive
+// same-transport run (each run stably regrouped by destination so GSO
+// coalescing finds its runs), and drops each owner reference after its
+// send.
 func sendItems(items []outItem, env []transport.Envelope, pkts []packet.Packet) ([]transport.Envelope, []packet.Packet) {
 	i := 0
 	for i < len(items) {
@@ -276,6 +328,10 @@ func sendItems(items []outItem, env []transport.Envelope, pkts []packet.Packet) 
 			j++
 		}
 		n := j - i
+		if n > 2 {
+			run := items[i:j]
+			sort.SliceStable(run, func(a, b int) bool { return destOrder(&run[a], &run[b]) })
+		}
 		if cap(env) < n {
 			env = make([]transport.Envelope, n)
 			pkts = make([]packet.Packet, n)
@@ -297,16 +353,18 @@ func sendItems(items []outItem, env []transport.Envelope, pkts []packet.Packet) 
 	return env, pkts
 }
 
-// discardSendq empties the staged queue without sending, releasing
-// every owner reference.
+// discardSendq empties every shard's staged queue without sending,
+// releasing every owner reference.
 func (s *Session) discardSendq() {
-	s.sendMu.Lock()
-	local := s.sendq
-	s.sendq = nil
-	s.sendMu.Unlock()
-	for i := range local {
-		packet.Put(local[i].owner)
-		local[i] = outItem{}
+	for _, sh := range s.sendShards {
+		sh.mu.Lock()
+		local := sh.q
+		sh.q = nil
+		sh.mu.Unlock()
+		for i := range local {
+			packet.Put(local[i].owner)
+			local[i] = outItem{}
+		}
 	}
 }
 
@@ -341,6 +399,9 @@ const recvBatchSize = 64
 type recvLoop struct {
 	tr transport.Transport
 	bt transport.BatchTransport
+	// sendShard is the send-poller shard every flow of this transport
+	// stages onto, assigned round-robin at loop creation; immutable.
+	sendShard int
 
 	mu     sync.Mutex
 	byPort map[uint16]anyFlow
@@ -513,6 +574,8 @@ func (s *Session) attach(f anyFlow) error {
 	l, ok := s.loops[b.tr]
 	if !ok {
 		l = &recvLoop{tr: b.tr, bt: b.bt, byPort: make(map[uint16]anyFlow)}
+		l.sendShard = s.nextShard % len(s.sendShards)
+		s.nextShard++
 		s.loops[b.tr] = l
 		s.wg.Add(1)
 		go s.runRecv(l)
@@ -520,6 +583,7 @@ func (s *Session) attach(f anyFlow) error {
 	if err := l.bind(b.port, f); err != nil {
 		return err
 	}
+	b.sendShard = l.sendShard
 	b.id = s.nextID
 	s.nextID++
 	s.flows = append(s.flows, f)

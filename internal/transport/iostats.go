@@ -1,18 +1,41 @@
 // Transport-level datapath telemetry. These are process-wide counters
-// for incidents that would otherwise vanish: datagrams dropped for
+// for the wire-facing half of the datapath: datagrams sent (counted in
+// wire datagrams even when UDP GSO hands the kernel one supersegment),
+// syscalls spent sending them, segmentation-offload activity, and
+// incidents that would otherwise vanish — datagrams dropped for
 // exceeding the batch buffer size, and per-destination send failures
 // beyond the first (SendBatch returns only the first error, so without
 // the counter a single dead destination masks every later failure in
 // the batch). The control plane renders them on /metrics as
-// hrmc_transport_* counters.
+// hrmc_transport_* and hrmc_gso_*/hrmc_gro_* counters.
 package transport
 
 import "sync/atomic"
 
-// IOCounters aggregates transport datapath incidents across every live
+// IOCounters aggregates transport datapath activity across every live
 // transport in the process. Fields are atomics; read them through
 // IOStats.
 type IOCounters struct {
+	// SentDatagrams counts wire datagrams successfully handed to the
+	// kernel. A UDP_SEGMENT supersegment counts once per kernel-split
+	// sub-segment, not once per syscall payload, so the counter stays
+	// comparable whether segmentation offload is on or off.
+	SentDatagrams atomic.Int64
+	// SendSyscalls counts the send-side kernel crossings
+	// (sendmmsg/sendmsg/sendto) that carried those datagrams.
+	// SentDatagrams/SendSyscalls is the datagrams-per-syscall gauge.
+	SendSyscalls atomic.Int64
+	// GsoSegments counts wire datagrams that left inside a UDP_SEGMENT
+	// supersegment (i.e. the kernel did the splitting). GsoSegments ==
+	// 0 with traffic flowing means offload is off or unsupported.
+	GsoSegments atomic.Int64
+	// GroSupersegments counts received kernel-coalesced supersegments
+	// (UDP_GRO), each of which the transport split back into
+	// GroSegments individual packets.
+	GroSupersegments atomic.Int64
+	// GroSegments counts the individual datagrams recovered from GRO
+	// supersegments.
+	GroSegments atomic.Int64
 	// TruncatedDatagrams counts received datagrams dropped because they
 	// exceeded the batch receive buffer (udpmcast's mmsgBufSize) — the
 	// signature of a peer misconfigured to send oversized datagrams.
@@ -22,19 +45,29 @@ type IOCounters struct {
 	SendErrors atomic.Int64
 }
 
-// IO is the process-wide transport incident counter set.
+// IO is the process-wide transport datapath counter set.
 var IO IOCounters
 
 // IOSnapshot is a point-in-time copy of the IO counters.
 type IOSnapshot struct {
+	SentDatagrams      int64
+	SendSyscalls       int64
+	GsoSegments        int64
+	GroSupersegments   int64
+	GroSegments        int64
 	TruncatedDatagrams int64
 	SendErrors         int64
 }
 
-// IOStats returns a snapshot of the process-wide transport incident
+// IOStats returns a snapshot of the process-wide transport datapath
 // counters.
 func IOStats() IOSnapshot {
 	return IOSnapshot{
+		SentDatagrams:      IO.SentDatagrams.Load(),
+		SendSyscalls:       IO.SendSyscalls.Load(),
+		GsoSegments:        IO.GsoSegments.Load(),
+		GroSupersegments:   IO.GroSupersegments.Load(),
+		GroSegments:        IO.GroSegments.Load(),
 		TruncatedDatagrams: IO.TruncatedDatagrams.Load(),
 		SendErrors:         IO.SendErrors.Load(),
 	}

@@ -118,12 +118,21 @@ func NewGroupTransport(cfg GroupConfig) (*GroupTransport, error) {
 	}
 	t.send.bw = newBatchWriter(uconn)
 	t.send.bw.errs = &t.cnt.sendErrors
+	t.send.bw.enableGSO(uconn)
 	if err := t.setupEgress(egress); err != nil {
 		t.Close()
 		return nil, err
 	}
-	go t.readLoop(mconn, true)
-	go t.readLoop(uconn, false)
+	// Readers are armed (GRO probe + setsockopt) here rather than inside
+	// the goroutines, so offload state is settled when the constructor
+	// returns. The mconn reader additionally recovers destination
+	// addresses (IP_PKTINFO) for the group demux.
+	mbr := newBatchReaderDst(mconn)
+	mbr.trunc = &t.cnt.truncated
+	ubr := newBatchReaderOffload(uconn)
+	ubr.trunc = &t.cnt.truncated
+	go t.readLoop(mbr, true)
+	go t.readLoop(ubr, false)
 	return t, nil
 }
 
@@ -312,17 +321,13 @@ func (t *GroupTransport) membership(ip4 net.IP, op int) error {
 }
 
 // readLoop drains one socket in recvmmsg batches, decodes into pooled
-// packets, learns peer source addresses, and pushes whole batches into
-// the shared inbox. The mconn loop (wantDst) tags each envelope with
-// the multicast group it was addressed to.
-func (t *GroupTransport) readLoop(conn *net.UDPConn, wantDst bool) {
-	var br *batchReader
-	if wantDst {
-		br = newBatchReaderDst(conn)
-	} else {
-		br = newBatchReader(conn)
-	}
-	br.trunc = &t.cnt.truncated
+// packets (splitting GRO supersegments back into individual datagrams),
+// learns peer source addresses, and pushes whole batches into the
+// shared inbox. The mconn loop (wantDst) tags each envelope with the
+// multicast group it was addressed to — every segment of a
+// supersegment shares one wire destination and source, so the group
+// tag and peer ID are resolved once per slot.
+func (t *GroupTransport) readLoop(br *batchReader, wantDst bool) {
 	batch := make([]transport.Envelope, 0, mmsgBatch)
 	for {
 		n, err := br.read(mmsgBatch)
@@ -332,30 +337,40 @@ func (t *GroupTransport) readLoop(conn *net.UDPConn, wantDst bool) {
 		batch = batch[:0]
 		for i := 0; i < n; i++ {
 			b, src := br.datagram(i)
-			// Copy-mode decode: the batch outlives the reader slots.
-			p := packet.GetBuf(len(b))
-			if err := packet.DecodeInto(p, b); err != nil {
-				transport.PutPacket(p)
-				continue
-			}
 			var gid transport.GroupID
 			if wantDst {
 				if d := br.dst(i); d>>28 == 0xe { // 224.0.0.0/4
 					gid = transport.GroupID(d)
 				}
 			}
-			key := src.String()
-			t.mu.Lock()
-			id, ok := t.ids[key]
-			if !ok {
-				id = t.next
-				t.next++
-				t.ids[key] = id
-				a := *src // src aliases reader-owned storage; keep a copy
-				t.addrs[id] = &a
+			var id packet.NodeID
+			resolved := false
+			segs := splitDatagrams(b, br.gro(i), func(d []byte) {
+				// Copy-mode decode: the batch outlives the reader slots.
+				p := packet.GetBuf(len(d))
+				if err := packet.DecodeInto(p, d); err != nil {
+					transport.PutPacket(p)
+					return
+				}
+				if !resolved {
+					resolved = true
+					key := src.String()
+					t.mu.Lock()
+					var ok bool
+					if id, ok = t.ids[key]; !ok {
+						id = t.next
+						t.next++
+						t.ids[key] = id
+						a := *src // src aliases reader-owned storage; keep a copy
+						t.addrs[id] = &a
+					}
+					t.mu.Unlock()
+				}
+				batch = append(batch, transport.Envelope{Pkt: p, From: id, Group: gid})
+			})
+			if segs > 1 {
+				countGroSplit(segs)
 			}
-			t.mu.Unlock()
-			batch = append(batch, transport.Envelope{Pkt: p, From: id, Group: gid})
 		}
 		if len(batch) > 0 {
 			t.cnt.pktsIn.Add(int64(len(batch)))

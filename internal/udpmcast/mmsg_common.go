@@ -57,6 +57,48 @@ func countSendError(perTransport *atomic.Int64) {
 	}
 }
 
+// countSent records datagrams successfully handed to the kernel:
+// datagrams is the wire count (GSO supersegments already expanded into
+// their kernel-split sub-segments), gsoSegs the subset that left inside
+// supersegments, and syscalls the kernel crossings spent.
+func countSent(datagrams, gsoSegs, syscalls int64) {
+	transport.IO.SentDatagrams.Add(datagrams)
+	transport.IO.SendSyscalls.Add(syscalls)
+	if gsoSegs > 0 {
+		transport.IO.GsoSegments.Add(gsoSegs)
+	}
+}
+
+// countGroSplit records one received GRO supersegment that the reader
+// split into segments individual datagrams.
+func countGroSplit(segments int) {
+	transport.IO.GroSupersegments.Add(1)
+	transport.IO.GroSegments.Add(int64(segments))
+}
+
+// splitDatagrams iterates the wire datagrams packed into one receive
+// slot. A kernel-coalesced GRO supersegment (seg > 0 and a buffer
+// longer than seg) is cut at seg-byte boundaries, the final segment
+// allowed shorter (the odd tail); otherwise the buffer is one plain
+// datagram. It returns how many datagrams fn saw.
+func splitDatagrams(b []byte, seg int, fn func([]byte)) int {
+	if seg <= 0 || len(b) <= seg {
+		fn(b)
+		return 1
+	}
+	n := 0
+	for len(b) > 0 {
+		d := b
+		if len(d) > seg {
+			d = d[:seg]
+		}
+		b = b[len(d):]
+		fn(d)
+		n++
+	}
+	return n
+}
+
 // writeSeq transmits each message with its own syscall — the portable
 // path, and the runtime fallback when batch syscalls are unavailable.
 // Every failure is counted (errs may be nil); only the first is
@@ -72,6 +114,8 @@ func writeSeq(conn *net.UDPConn, msgs []outMsg, errs *atomic.Int64) error {
 			if firstErr == nil {
 				firstErr = err
 			}
+		} else {
+			countSent(1, 0, 1)
 		}
 	}
 	return firstErr

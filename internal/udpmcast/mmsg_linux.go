@@ -61,7 +61,13 @@ type batchReader struct {
 	// newBatchReaderDst for group transports that demux on the
 	// multicast group a datagram was addressed to.
 	wantDst bool
-	ctrls   [][]byte // per-slot control buffers, nil unless wantDst
+	// wantGro marks a socket armed for UDP_GRO: slots are sized for a
+	// full supersegment (bufSize) and gro() reports each datagram's
+	// kernel-coalesced segment size for the consumer to split on.
+	wantGro   bool
+	bufSize   int
+	ctrlSpace int
+	ctrls     [][]byte // per-slot control buffers, nil unless wantDst/wantGro
 
 	// trunc, when set, additionally counts truncated-datagram drops for
 	// the owning transport's stats.
@@ -73,12 +79,37 @@ type batchReader struct {
 	oneOOB  []byte
 	oneN    int
 	oneDst  uint32
+	oneGro  int
 	oneAddr *net.UDPAddr
 	lastOne bool // last read() used the fallback path
 }
 
 func newBatchReader(conn *net.UDPConn) *batchReader {
-	r := &batchReader{conn: conn}
+	return newReader(conn, false, false)
+}
+
+// newBatchReaderOffload is newBatchReader plus UDP GRO: when the knob
+// is on and the socket accepts the option, the kernel may deliver
+// coalesced supersegments, so each slot is sized for a full 64 KB UDP
+// payload and carries control space for the UDP_GRO segment-size cmsg.
+func newBatchReaderOffload(conn *net.UDPConn) *batchReader {
+	return newReader(conn, false, enableGRO(conn))
+}
+
+// newBatchReaderDst is newBatchReader plus destination-address
+// recovery: each recvmmsg slot carries a control buffer sized for one
+// IP_PKTINFO message (the socket must have the option enabled), and
+// dst() reports the IPv4 address each datagram was sent to. GRO is
+// armed alongside when available.
+func newBatchReaderDst(conn *net.UDPConn) *batchReader {
+	return newReader(conn, true, enableGRO(conn))
+}
+
+func newReader(conn *net.UDPConn, wantDst, gro bool) *batchReader {
+	r := &batchReader{conn: conn, wantDst: wantDst, wantGro: gro, bufSize: mmsgBufSize}
+	if gro {
+		r.bufSize = groBufSize
+	}
 	rc, err := conn.SyscallConn()
 	if err != nil {
 		return r // rc == nil selects the fallback path
@@ -90,32 +121,25 @@ func newBatchReader(conn *net.UDPConn) *batchReader {
 	r.bufs = make([][]byte, mmsgBatch)
 	r.addrs = make([]net.UDPAddr, mmsgBatch)
 	for i := range r.msgs {
-		r.bufs[i] = make([]byte, mmsgBufSize)
+		r.bufs[i] = make([]byte, r.bufSize)
 		r.iovs[i].Base = &r.bufs[i][0]
-		r.iovs[i].Len = mmsgBufSize
+		r.iovs[i].Len = uint64(r.bufSize)
 		r.msgs[i].hdr.Iov = &r.iovs[i]
 		r.msgs[i].hdr.Iovlen = 1
 		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
 		r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
 	}
-	return r
-}
-
-// newBatchReaderDst is newBatchReader plus destination-address
-// recovery: each recvmmsg slot carries a control buffer sized for one
-// IP_PKTINFO message (the socket must have the option enabled), and
-// dst() reports the IPv4 address each datagram was sent to.
-func newBatchReaderDst(conn *net.UDPConn) *batchReader {
-	r := newBatchReader(conn)
-	r.wantDst = true
-	if r.rc == nil {
-		return r
-	}
-	r.ctrls = make([][]byte, len(r.msgs))
-	for i := range r.ctrls {
-		r.ctrls[i] = make([]byte, pktinfoSpace)
-		r.msgs[i].hdr.Control = &r.ctrls[i][0]
-		r.msgs[i].hdr.SetControllen(pktinfoSpace)
+	if wantDst || gro {
+		r.ctrlSpace = pktinfoSpace
+		if gro {
+			r.ctrlSpace = groCtrlSpace
+		}
+		r.ctrls = make([][]byte, len(r.msgs))
+		for i := range r.ctrls {
+			r.ctrls[i] = make([]byte, r.ctrlSpace)
+			r.msgs[i].hdr.Control = &r.ctrls[i][0]
+			r.msgs[i].hdr.SetControllen(r.ctrlSpace)
+		}
 	}
 	return r
 }
@@ -136,7 +160,7 @@ func (r *batchReader) read(max int) (int, error) {
 	for i := 0; i < max; i++ {
 		r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
 		if r.ctrls != nil {
-			r.msgs[i].hdr.SetControllen(pktinfoSpace) // kernel shrank it last read
+			r.msgs[i].hdr.SetControllen(r.ctrlSpace) // kernel shrank it last read
 		}
 		r.msgs[i].n = 0
 	}
@@ -167,14 +191,16 @@ func (r *batchReader) read(max int) (int, error) {
 }
 
 // readOne is the single-datagram path: one blocking ReadFromUDP (or
-// ReadMsgUDP when the destination address is wanted).
+// ReadMsgUDP when destination addresses or GRO segment sizes are
+// wanted — GRO may already be armed on the socket when the batch
+// syscalls fall back, so supersegments must still be recognized here).
 func (r *batchReader) readOne() (int, error) {
 	if r.oneBuf == nil {
 		r.oneBuf = make([]byte, maxDatagram)
 	}
-	if r.wantDst {
+	if r.wantDst || r.wantGro {
 		if r.oneOOB == nil {
-			r.oneOOB = make([]byte, pktinfoSpace)
+			r.oneOOB = make([]byte, groCtrlSpace)
 		}
 		n, oobn, _, addr, err := r.conn.ReadMsgUDP(r.oneBuf, r.oneOOB)
 		if err != nil {
@@ -182,6 +208,10 @@ func (r *batchReader) readOne() (int, error) {
 		}
 		r.oneN, r.oneAddr, r.lastOne = n, addr, true
 		r.oneDst = pktinfoDst(r.oneOOB[:oobn])
+		r.oneGro = 0
+		if r.wantGro {
+			r.oneGro = groSegSize(r.oneOOB[:oobn])
+		}
 		return 1, nil
 	}
 	n, addr, err := r.conn.ReadFromUDP(r.oneBuf)
@@ -199,7 +229,7 @@ func (r *batchReader) datagram(i int) ([]byte, *net.UDPAddr) {
 		return r.oneBuf[:r.oneN], r.oneAddr
 	}
 	n := int(r.msgs[i].n)
-	if n >= mmsgBufSize {
+	if n >= r.bufSize {
 		// Possible kernel-side truncation: poison the length so the
 		// decoder rejects it rather than delivering a clipped packet,
 		// and count the drop instead of losing it silently.
@@ -226,6 +256,21 @@ func (r *batchReader) dst(i int) uint32 {
 		return 0
 	}
 	return pktinfoDst(r.ctrls[i][:r.msgs[i].hdr.Controllen])
+}
+
+// gro returns the GRO segment size of the i-th datagram of the last
+// read, or 0 when the datagram is not a kernel-coalesced supersegment
+// (including on readers never armed for GRO). A non-zero value means
+// the payload packs several seg-size wire datagrams back to back, the
+// last possibly shorter.
+func (r *batchReader) gro(i int) int {
+	if r.lastOne {
+		return r.oneGro
+	}
+	if !r.wantGro || r.ctrls == nil {
+		return 0
+	}
+	return groSegSize(r.ctrls[i][:r.msgs[i].hdr.Controllen])
 }
 
 // pktinfoDst walks a received control-message region and extracts the
@@ -263,7 +308,17 @@ type batchWriter struct {
 	msgs  []mmsghdr
 	iovs  []syscall.Iovec
 	names []syscall.RawSockaddrInet4
-	errs  *atomic.Int64 // optional per-transport send-error counter
+	ctrls []gsoCmsg  // per-mmsghdr UDP_SEGMENT control blocks
+	spans []sendSpan // mmsghdr → original msgs range, for counting/fallback
+	errs  *atomic.Int64
+	gso   bool // UDP_SEGMENT arming (enableGSO); see also gsoSupported
+}
+
+// sendSpan records which input messages one mmsghdr carries: count > 1
+// marks a GSO supersegment whose count messages the kernel splits back
+// into wire datagrams.
+type sendSpan struct {
+	start, count int
 }
 
 func newBatchWriter(conn *net.UDPConn) *batchWriter {
@@ -274,9 +329,45 @@ func newBatchWriter(conn *net.UDPConn) *batchWriter {
 	return w
 }
 
+// coalesceRun returns how many messages starting at msgs[i] fit into
+// one UDP_SEGMENT supersegment: a maximal run of same-destination
+// messages of msgs[i]'s size, optionally closed by one shorter tail
+// message (the kernel requires every segment but the last to be exactly
+// the cmsg segment size), capped by the kernel's segment-count and
+// payload limits. Returns 1 when nothing coalesces.
+func coalesceRun(msgs []outMsg, i int) int {
+	seg := len(msgs[i].buf)
+	if seg == 0 || seg >= udpMaxPayload {
+		return 1
+	}
+	max := udpMaxPayload / seg
+	if max > gsoMaxSegments {
+		max = gsoMaxSegments
+	}
+	a := msgs[i].addr
+	run := 1
+	for run < max && i+run < len(msgs) {
+		m := &msgs[i+run]
+		if m.addr == nil || len(m.buf) == 0 || len(m.buf) > seg {
+			break
+		}
+		if m.addr != a && (m.addr.Port != a.Port || !m.addr.IP.Equal(a.IP)) {
+			break
+		}
+		run++
+		if len(m.buf) < seg {
+			break // a shorter message is only valid as the final segment
+		}
+	}
+	return run
+}
+
 // write transmits every message, using sendmmsg to cover the batch in
-// as few syscalls as possible. A per-message destination of nil is
-// skipped (the caller has already recorded its error). A message the
+// as few syscalls as possible; with GSO armed, consecutive
+// same-destination same-size messages collapse further into single
+// UDP_SEGMENT supersegments (multi-iovec gather, zero copies) that the
+// kernel splits into wire datagrams. A per-message destination of nil
+// is skipped (the caller has already recorded its error). A message the
 // kernel rejects is counted, skipped, and the batch continues — one
 // dead destination no longer strands the rest of the batch — with the
 // first error returned at the end.
@@ -284,33 +375,55 @@ func (w *batchWriter) write(msgs []outMsg) error {
 	if w.rc == nil || !mmsgSupported.Load() {
 		return writeSeq(w.conn, msgs, w.errs)
 	}
-	if len(w.msgs) < len(msgs) {
+	if len(w.iovs) < len(msgs) {
 		w.msgs = make([]mmsghdr, len(msgs))
 		w.iovs = make([]syscall.Iovec, len(msgs))
 		w.names = make([]syscall.RawSockaddrInet4, len(msgs))
+		w.ctrls = make([]gsoCmsg, len(msgs))
+		w.spans = make([]sendSpan, len(msgs))
 	}
-	n := 0
-	for _, m := range msgs {
+	gso := w.gso && gsoSupported.Load()
+	n, iv := 0, 0 // mmsghdrs built, iovecs consumed
+	for i := 0; i < len(msgs); {
+		m := &msgs[i]
 		if m.addr == nil || len(m.buf) == 0 {
+			i++
 			continue
 		}
 		ip4 := m.addr.IP.To4()
 		if ip4 == nil {
+			i++
 			continue
+		}
+		run := 1
+		if gso {
+			run = coalesceRun(msgs, i)
 		}
 		w.names[n] = syscall.RawSockaddrInet4{
 			Family: syscall.AF_INET,
 			Port:   htons(uint16(m.addr.Port)),
 			Addr:   [4]byte(ip4),
 		}
-		w.iovs[n].Base = &m.buf[0]
-		w.iovs[n].Len = uint64(len(m.buf))
+		first := iv
+		for k := 0; k < run; k++ {
+			w.iovs[iv].Base = &msgs[i+k].buf[0]
+			w.iovs[iv].Len = uint64(len(msgs[i+k].buf))
+			iv++
+		}
 		w.msgs[n] = mmsghdr{}
-		w.msgs[n].hdr.Iov = &w.iovs[n]
-		w.msgs[n].hdr.Iovlen = 1
+		w.msgs[n].hdr.Iov = &w.iovs[first]
+		w.msgs[n].hdr.Iovlen = uint64(run)
 		w.msgs[n].hdr.Name = (*byte)(unsafe.Pointer(&w.names[n]))
 		w.msgs[n].hdr.Namelen = syscall.SizeofSockaddrInet4
+		if run > 1 {
+			c := &w.ctrls[n]
+			c.set(uint16(len(m.buf)))
+			w.msgs[n].hdr.Control = (*byte)(unsafe.Pointer(c))
+			w.msgs[n].hdr.SetControllen(gsoCmsgSpace)
+		}
+		w.spans[n] = sendSpan{start: i, count: run}
 		n++
+		i += run
 	}
 	sent := 0
 	var firstErr error
@@ -333,9 +446,17 @@ func (w *batchWriter) write(msgs []outMsg) error {
 		if serr != 0 {
 			if serr == syscall.ENOSYS || serr == syscall.EPERM {
 				mmsgSupported.Store(false)
-				if sent == 0 {
-					return writeSeq(w.conn, msgs, w.errs)
-				}
+				// Re-send everything not yet on the wire, one datagram
+				// per syscall.
+				return firstOf(firstErr, writeSeq(w.conn, msgs[w.spans[sent].start:], w.errs))
+			}
+			if w.spans[sent].count > 1 && gsoRejected(serr) {
+				// The socket took the UDP_SEGMENT probe but the kernel
+				// rejects live supersegments (seccomp, odd qdisc/driver):
+				// disable GSO process-wide and re-send the remainder
+				// unsegmented. The wire format is identical either way.
+				gsoSupported.Store(false)
+				return firstOf(firstErr, w.write(msgs[w.spans[sent].start:]))
 			}
 			// sendmmsg reports an errno only when the message at index
 			// `sent` failed with nothing later sent: count it, skip it,
@@ -351,7 +472,23 @@ func (w *batchWriter) write(msgs []outMsg) error {
 		if got <= 0 {
 			break
 		}
+		var wire, gsoSegs int64
+		for k := sent; k < sent+got; k++ {
+			wire += int64(w.spans[k].count)
+			if w.spans[k].count > 1 {
+				gsoSegs += int64(w.spans[k].count)
+			}
+		}
+		countSent(wire, gsoSegs, 1)
 		sent += got
 	}
 	return firstErr
+}
+
+// firstOf returns the first non-nil error.
+func firstOf(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,41 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Segmentation-offload stubs for platforms running the portable batch
+// path (mmsg_fallback.go): UDP GSO/GRO is Linux-only, so the probe
+// reports unsupported, arming is a no-op, and readers never see
+// supersegments. The shared transports compile unchanged.
+package udpmcast
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// offloadEnabled mirrors the Linux knob so SetOffload/OffloadEnabled
+// behave identically; nothing consults it on this platform.
+var offloadEnabled atomic.Bool
+
+func init() { offloadEnabled.Store(true) }
+
+// SetOffload enables or disables UDP GSO/GRO for sockets opened from
+// now on. A no-op here: this platform has no offload path.
+func SetOffload(on bool) { offloadEnabled.Store(on) }
+
+// OffloadEnabled reports the SetOffload knob.
+func OffloadEnabled() bool { return offloadEnabled.Load() }
+
+// ProbeOffload reports kernel UDP_SEGMENT/UDP_GRO support: never
+// available on this platform.
+func ProbeOffload() (gso, gro bool) { return false, false }
+
+// enableGSO is a no-op: the portable writer sends one datagram per
+// syscall.
+func (w *batchWriter) enableGSO(conn *net.UDPConn) {}
+
+// newBatchReaderOffload is newBatchReader here: no GRO, so no oversized
+// slots or control buffers are needed.
+func newBatchReaderOffload(conn *net.UDPConn) *batchReader { return newBatchReader(conn) }
+
+// gro reports the i-th datagram's GRO segment size: always 0 (never a
+// supersegment) on this platform.
+func (r *batchReader) gro(int) int { return 0 }

@@ -1,0 +1,61 @@
+package udpmcast
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSplitDatagrams covers the user-space half of UDP GRO: carving a
+// kernel-coalesced supersegment back into the wire datagrams it packs,
+// including the one allowed shorter tail.
+func TestSplitDatagrams(t *testing.T) {
+	pattern := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		return b
+	}
+	split := func(b []byte, seg int) ([][]byte, int) {
+		var parts [][]byte
+		n := splitDatagrams(b, seg, func(d []byte) {
+			parts = append(parts, append([]byte(nil), d...))
+		})
+		return parts, n
+	}
+
+	cases := []struct {
+		name string
+		size int
+		seg  int
+		want []int // expected part lengths
+	}{
+		{"no-gro-seg-zero", 3000, 0, []int{3000}},
+		{"single-under-seg", 900, 1400, []int{900}},
+		{"single-exact-seg", 1400, 1400, []int{1400}},
+		{"exact-multiple", 4200, 1400, []int{1400, 1400, 1400}},
+		{"odd-tail", 3100, 1400, []int{1400, 1400, 300}},
+		{"tiny-tail", 2801, 1400, []int{1400, 1400, 1}},
+		{"empty", 0, 1400, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := pattern(tc.size)
+			parts, n := split(src, tc.seg)
+			if n != len(tc.want) || len(parts) != len(tc.want) {
+				t.Fatalf("split %d/%d: got %d parts (n=%d), want %d",
+					tc.size, tc.seg, len(parts), n, len(tc.want))
+			}
+			var joined []byte
+			for i, p := range parts {
+				if len(p) != tc.want[i] {
+					t.Errorf("part %d: %d bytes, want %d", i, len(p), tc.want[i])
+				}
+				joined = append(joined, p...)
+			}
+			if !bytes.Equal(joined, src) {
+				t.Errorf("split %d/%d: reassembled bytes differ from input", tc.size, tc.seg)
+			}
+		})
+	}
+}

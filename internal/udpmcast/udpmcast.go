@@ -66,8 +66,13 @@ type SenderTransport struct {
 	group *net.UDPAddr
 
 	send   sendState
-	recvMu sync.Mutex // serializes RecvBatch over br
+	recvMu sync.Mutex // serializes RecvBatch over br and pend
 	br     *batchReader
+	// pend holds decoded envelopes beyond the caller's buffer capacity:
+	// one GRO supersegment can split into more packets than the caller
+	// asked for. Drained before the next read, so borrowed payloads
+	// (aliasing reader slots) stay valid.
+	pend []transport.Envelope
 
 	mu    sync.Mutex
 	ids   map[string]packet.NodeID
@@ -128,12 +133,13 @@ func NewSenderTransport(group string, opts ...SenderOption) (*SenderTransport, e
 	t := &SenderTransport{
 		conn:  conn,
 		group: gaddr,
-		br:    newBatchReader(conn),
+		br:    newBatchReaderOffload(conn),
 		ids:   make(map[string]packet.NodeID),
 		addrs: make(map[packet.NodeID]*net.UDPAddr),
 		next:  peerIDBase,
 	}
 	t.send.bw = newBatchWriter(conn)
+	t.send.bw.enableGSO(conn)
 	for _, o := range opts {
 		if err := o(t); err != nil {
 			conn.Close()
@@ -199,7 +205,9 @@ func (t *SenderTransport) SendBatch(env []transport.Envelope) error {
 // RecvBatch implements transport.BatchTransport: it blocks for receiver
 // feedback on the unicast socket, draining up to one recvmmsg batch of
 // datagrams into pooled packets and assigning dense node IDs to new
-// source addresses. Ownership of the returned packets transfers to the
+// source addresses. GRO supersegments are split back into individual
+// packets; the overflow past len(out) is parked on t.pend and returned
+// first next call. Ownership of the returned packets transfers to the
 // caller.
 func (t *SenderTransport) RecvBatch(out []transport.Envelope) (int, error) {
 	if len(out) == 0 {
@@ -207,6 +215,15 @@ func (t *SenderTransport) RecvBatch(out []transport.Envelope) (int, error) {
 	}
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
+	if len(t.pend) > 0 {
+		k := copy(out, t.pend)
+		rem := copy(t.pend, t.pend[k:])
+		for i := rem; i < len(t.pend); i++ {
+			t.pend[i] = transport.Envelope{}
+		}
+		t.pend = t.pend[:rem]
+		return k, nil
+	}
 	max := len(out)
 	if max > mmsgBatch {
 		max = mmsgBatch
@@ -219,31 +236,50 @@ func (t *SenderTransport) RecvBatch(out []transport.Envelope) (int, error) {
 		k := 0
 		for i := 0; i < n; i++ {
 			b, src := t.br.datagram(i)
-			p := transport.GetPacket()
-			// Zero-copy decode: the payload aliases the reader's fixed
-			// datagram slot, which stays untouched until the next read —
-			// and reads are serialized under recvMu, after the session's
-			// demux loop has consumed (and released) the previous batch.
-			// Feedback packets are header-only in practice, but the
-			// borrow keeps even payload-carrying ones (local-recovery
-			// repairs) copy-free.
-			if err := packet.DecodeBorrow(p, b); err != nil {
-				transport.PutPacket(p) // garbage or corrupted datagram
-				continue
+			// Resolve the source ID lazily, once per slot, and only when
+			// at least one segment decodes — garbage datagrams never
+			// populate the peer table.
+			var id packet.NodeID
+			resolved := false
+			segs := splitDatagrams(b, t.br.gro(i), func(d []byte) {
+				p := transport.GetPacket()
+				// Zero-copy decode: the payload aliases the reader's fixed
+				// datagram slot, which stays untouched until the next read
+				// — and reads are serialized under recvMu, after the
+				// session's demux loop has consumed (and released) the
+				// previous batch (pend overflow is drained before reading
+				// again). Feedback packets are header-only in practice,
+				// but the borrow keeps even payload-carrying ones
+				// (local-recovery repairs) copy-free.
+				if err := packet.DecodeBorrow(p, d); err != nil {
+					transport.PutPacket(p) // garbage or corrupted datagram
+					return
+				}
+				if !resolved {
+					resolved = true
+					key := src.String()
+					t.mu.Lock()
+					var ok bool
+					if id, ok = t.ids[key]; !ok {
+						id = t.next
+						t.next++
+						t.ids[key] = id
+						a := *src // src aliases reader-owned storage; keep a copy
+						t.addrs[id] = &a
+					}
+					t.mu.Unlock()
+				}
+				env := transport.Envelope{Pkt: p, From: id}
+				if k < len(out) {
+					out[k] = env
+					k++
+				} else {
+					t.pend = append(t.pend, env)
+				}
+			})
+			if segs > 1 {
+				countGroSplit(segs)
 			}
-			key := src.String()
-			t.mu.Lock()
-			id, ok := t.ids[key]
-			if !ok {
-				id = t.next
-				t.next++
-				t.ids[key] = id
-				a := *src // src aliases reader-owned storage; keep a copy
-				t.addrs[id] = &a
-			}
-			t.mu.Unlock()
-			out[k] = transport.Envelope{Pkt: p, From: id}
-			k++
 		}
 		if k > 0 {
 			return k, nil
@@ -323,16 +359,20 @@ func NewReceiverTransport(group string, ifi *net.Interface) (*ReceiverTransport,
 		closed: make(chan struct{}),
 	}
 	t.send.bw = newBatchWriter(uconn)
-	go t.readLoop(mconn, true)
-	go t.readLoop(uconn, false)
+	t.send.bw.enableGSO(uconn)
+	// Readers are armed (GRO probe + setsockopt) here rather than inside
+	// the goroutines, so offload state is settled when the constructor
+	// returns.
+	go t.readLoop(newBatchReaderOffload(mconn), true)
+	go t.readLoop(newBatchReaderOffload(uconn), false)
 	return t, nil
 }
 
 // readLoop drains one socket in recvmmsg batches, decodes into pooled
-// packets, and pushes whole batches into the shared inbox under one
-// lock acquisition.
-func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
-	br := newBatchReader(conn)
+// packets (splitting GRO supersegments back into individual datagrams),
+// and pushes whole batches into the shared inbox under one lock
+// acquisition.
+func (t *ReceiverTransport) readLoop(br *batchReader, learnSender bool) {
 	batch := make([]*packet.Packet, 0, mmsgBatch)
 	for {
 		n, err := br.read(mmsgBatch)
@@ -342,14 +382,24 @@ func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
 		batch = batch[:0]
 		for i := 0; i < n; i++ {
 			b, src := br.datagram(i)
-			// Copy-mode decode (the batch outlives the reader slots here),
-			// so draw a packet that already owns a backing array.
-			p := packet.GetBuf(len(b))
-			if err := packet.DecodeInto(p, b); err != nil {
-				transport.PutPacket(p)
-				continue
+			before := len(batch)
+			segs := splitDatagrams(b, br.gro(i), func(d []byte) {
+				// Copy-mode decode (the batch outlives the reader slots
+				// here), so draw a packet that already owns a backing
+				// array.
+				p := packet.GetBuf(len(d))
+				if err := packet.DecodeInto(p, d); err != nil {
+					transport.PutPacket(p)
+					return
+				}
+				batch = append(batch, p)
+			})
+			if segs > 1 {
+				countGroSplit(segs)
 			}
-			if learnSender {
+			// Learn the sender's address only from datagrams that carried
+			// at least one valid packet, as the pre-offload path did.
+			if learnSender && len(batch) > before {
 				t.mu.Lock()
 				if t.sender == nil {
 					a := *src // src aliases reader-owned storage
@@ -357,7 +407,6 @@ func (t *ReceiverTransport) readLoop(conn *net.UDPConn, learnSender bool) {
 				}
 				t.mu.Unlock()
 			}
-			batch = append(batch, p)
 		}
 		if len(batch) > 0 {
 			t.push(batch)

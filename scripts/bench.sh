@@ -43,6 +43,16 @@
 # and goroutine growth at 1,000 groups must stay <= 64 (O(transports),
 # never O(groups)).
 #
+# It also runs BenchmarkUdpOffload (UDP GSO/GRO segmentation offload on
+# vs off over real loopback multicast, raw-transport and full-session
+# arms) plus a 1/256-flow session sweep, and writes BENCH_9.json.
+# Gates, applied only when the kernel supports offload (the on arms
+# skip themselves otherwise): the raw offload send path must reach 4x
+# the BENCH_5 single-flow figure (24.6 MB/s -> >= 98.4), datagrams per
+# send syscall must stay >= 8, and per-flow cost at 256 flows must stay
+# within 2x the single-flow cost (flat per-flow scaling; the margin
+# absorbs 1x-benchtime variance).
+#
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 # Env:
@@ -50,6 +60,7 @@
 #   BENCH6_OUT  feedback-plane output path (default BENCH_6.json)
 #   BENCH7_OUT  FEC crossover output path (default BENCH_7.json)
 #   BENCH8_OUT  many-groups output path (default BENCH_8.json)
+#   BENCH9_OUT  offload output path (default BENCH_9.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +69,7 @@ OUT="${BENCH_OUT:-BENCH_5.json}"
 OUT6="${BENCH6_OUT:-BENCH_6.json}"
 OUT7="${BENCH7_OUT:-BENCH_7.json}"
 OUT8="${BENCH8_OUT:-BENCH_8.json}"
+OUT9="${BENCH9_OUT:-BENCH_9.json}"
 
 RAW=$(HRMC_BENCH_FLOWS=1,12,64 go test -run '^$' -bench 'BenchmarkSessionMultiplex' \
 	-benchtime "$BENCHTIME" -benchmem .)
@@ -282,3 +294,91 @@ END {
 }' > "$OUT8"
 
 echo "wrote $OUT8"
+
+RAW9=$(go test -run '^$' -bench 'BenchmarkUdpOffload' -benchtime "$BENCHTIME" .)
+echo "$RAW9"
+
+RAW9B=$(HRMC_BENCH_FLOWS=1,256 go test -run '^$' -bench 'BenchmarkSessionMultiplex' \
+	-benchtime "$BENCHTIME" .)
+echo "$RAW9B"
+
+printf '%s\n%s\n' "$RAW9" "$RAW9B" | awk -v benchtime="$BENCHTIME" '
+/BenchmarkUdpOffload\// {
+	name = $1
+	sub(/^BenchmarkUdpOffload\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	# Custom metrics shift field positions, so scan value-unit pairs.
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "MB/s") mbs[name] = $i
+		else if ($(i+1) == "dgram/syscall") dps[name] = $i
+		else if ($(i+1) == "gso-segs/op") gso[name] = $i
+		else if ($(i+1) == "gro-super/op") gro[name] = $i
+		else if ($(i+1) == "rcvd-dgrams/op") rcv[name] = $i
+	}
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+/BenchmarkSessionMultiplex\/flows=/ {
+	fname = $1
+	sub(/.*flows=/, "", fname)
+	sub(/-[0-9]+$/, "", fname)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/flow") nsflow[fname] = $i
+	}
+	if (!(fname in fseen)) { forder[fn++] = fname; fseen[fname] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkUdpOffload\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"note\": \"UDP GSO/GRO over loopback multicast. The transport arms blast staged batches through a real SenderTransport (the wire datapath the offload optimizes: dgram_syscall is send amortization, gso_segs/gro_super confirm supersegments on both sides, rcvd is what survived an unpaced 1-CPU blast). The session arms run one reliable 4 MiB single-flow transfer end to end. Gate: the offload-on transport arm must reach 4x the BENCH_5 single-flow baseline (24.6 MB/s) and >= 8 datagrams per syscall; both skip (and the gate waives) on kernels without UDP_SEGMENT/UDP_GRO. flows records per-flow session cost at 1 vs 256 flows, gated at <= 2x.\",\n"
+	printf "  \"bench5_single_flow_mb_s\": 24.6,\n"
+	printf "  \"arms\": {\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"mb_s\": %s", name, mbs[name]
+		if (name in dps) printf ", \"dgram_syscall\": %s", dps[name]
+		if (name in gso) printf ", \"gso_segs_op\": %s", gso[name]
+		if (name in gro) printf ", \"gro_super_op\": %s", gro[name]
+		if (name in rcv) printf ", \"rcvd_dgrams_op\": %s", rcv[name]
+		printf "}%s\n", (i < n-1 ? "," : "")
+	}
+	printf "  },\n"
+	printf "  \"flows\": {\n"
+	for (i = 0; i < fn; i++) {
+		printf "    \"%s\": {\"ns_flow\": %s}%s\n", forder[i], nsflow[forder[i]], (i < fn-1 ? "," : "")
+	}
+	printf "  }"
+	ratio = -1
+	if (("1" in nsflow) && ("256" in nsflow) && nsflow["1"] + 0 > 0) {
+		ratio = nsflow["256"] / nsflow["1"]
+		printf ",\n  \"perflow_256_over_1\": %.3f\n", ratio
+	} else {
+		printf "\n"
+	}
+	printf "}\n"
+	# Gates. The offload-on arms skip on kernels without UDP_SEGMENT /
+	# UDP_GRO, in which case only the flatness gate applies.
+	fail = 0
+	k = "transport/offload=on"
+	if (k in mbs) {
+		if (mbs[k] + 0 < 24.6 * 4) {
+			printf "bench.sh: offload single-flow %.1f MB/s < 4x BENCH_5 baseline 24.6 (gate: >= 98.4)\n", mbs[k] > "/dev/stderr"
+			fail = 1
+		}
+		if ((k in dps) && dps[k] + 0 < 8) {
+			printf "bench.sh: offload datagrams-per-syscall %s < 8\n", dps[k] > "/dev/stderr"
+			fail = 1
+		}
+		if ((k in gso) && gso[k] + 0 <= 0) {
+			printf "bench.sh: offload arm ran but no traffic rode GSO supersegments\n" > "/dev/stderr"
+			fail = 1
+		}
+	}
+	if (ratio >= 0 && ratio > 2) {
+		printf "bench.sh: per-flow cost at 256 flows is %.2fx the 1-flow cost (gate: <= 2x)\n", ratio > "/dev/stderr"
+		fail = 1
+	}
+	if (fail) exit 1
+}' > "$OUT9"
+
+echo "wrote $OUT9"
